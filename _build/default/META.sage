@@ -1,0 +1,106 @@
+description = ""
+requires =
+"fmt
+ sage.ccg
+ sage.codegen
+ sage.corpus
+ sage.disambig
+ sage.interp
+ sage.logic
+ sage.net
+ sage.nlp
+ sage.rfc"
+archive(byte) = "sage.cma"
+archive(native) = "sage.cmxa"
+plugin(byte) = "sage.cma"
+plugin(native) = "sage.cmxs"
+package "ccg" (
+  directory = "ccg"
+  description = ""
+  requires = "fmt sage.logic sage.nlp"
+  archive(byte) = "sage_ccg.cma"
+  archive(native) = "sage_ccg.cmxa"
+  plugin(byte) = "sage_ccg.cma"
+  plugin(native) = "sage_ccg.cmxs"
+)
+package "codegen" (
+  directory = "codegen"
+  description = ""
+  requires = "fmt sage.logic sage.rfc"
+  archive(byte) = "sage_codegen.cma"
+  archive(native) = "sage_codegen.cmxa"
+  plugin(byte) = "sage_codegen.cma"
+  plugin(native) = "sage_codegen.cmxs"
+)
+package "corpus" (
+  directory = "corpus"
+  description = ""
+  requires = ""
+  archive(byte) = "sage_corpus.cma"
+  archive(native) = "sage_corpus.cmxa"
+  plugin(byte) = "sage_corpus.cma"
+  plugin(native) = "sage_corpus.cmxs"
+)
+package "disambig" (
+  directory = "disambig"
+  description = ""
+  requires = "fmt sage.logic"
+  archive(byte) = "sage_disambig.cma"
+  archive(native) = "sage_disambig.cmxa"
+  plugin(byte) = "sage_disambig.cma"
+  plugin(native) = "sage_disambig.cmxs"
+)
+package "interp" (
+  directory = "interp"
+  description = ""
+  requires = "fmt sage.codegen sage.logic sage.net sage.rfc"
+  archive(byte) = "sage_interp.cma"
+  archive(native) = "sage_interp.cmxa"
+  plugin(byte) = "sage_interp.cma"
+  plugin(native) = "sage_interp.cmxs"
+)
+package "logic" (
+  directory = "logic"
+  description = ""
+  requires = "fmt"
+  archive(byte) = "sage_logic.cma"
+  archive(native) = "sage_logic.cmxa"
+  plugin(byte) = "sage_logic.cma"
+  plugin(native) = "sage_logic.cmxs"
+)
+package "net" (
+  directory = "net"
+  description = ""
+  requires = "fmt"
+  archive(byte) = "sage_net.cma"
+  archive(native) = "sage_net.cmxa"
+  plugin(byte) = "sage_net.cma"
+  plugin(native) = "sage_net.cmxs"
+)
+package "nlp" (
+  directory = "nlp"
+  description = ""
+  requires = "fmt"
+  archive(byte) = "sage_nlp.cma"
+  archive(native) = "sage_nlp.cmxa"
+  plugin(byte) = "sage_nlp.cma"
+  plugin(native) = "sage_nlp.cmxs"
+)
+package "rfc" (
+  directory = "rfc"
+  description = ""
+  requires = "fmt sage.logic sage.nlp"
+  archive(byte) = "sage_rfc.cma"
+  archive(native) = "sage_rfc.cmxa"
+  plugin(byte) = "sage_rfc.cma"
+  plugin(native) = "sage_rfc.cmxs"
+)
+package "sim" (
+  directory = "sim"
+  description = ""
+  requires = "fmt sage sage.codegen sage.interp sage.logic sage.net sage.rfc"
+  archive(byte) = "sage_sim.cma"
+  archive(native) = "sage_sim.cmxa"
+  plugin(byte) = "sage_sim.cma"
+  plugin(native) = "sage_sim.cmxs"
+)

@@ -1,0 +1,413 @@
+(* The SAGE command-line interface.
+
+   Subcommands mirror the pipeline stages (paper Figure 1):
+
+     sage parse      <sentence>   chunk, CCG-parse and winnow one sentence
+     sage derivation <sentence>   show a CCG derivation tree (Appendix B)
+     sage run                     run the full pipeline over a corpus
+     sage code                    print the generated C translation unit
+     sage ambiguities             list sentences needing a human rewrite
+     sage interop                 ping/traceroute against generated code
+     sage corpus                  show the pre-processed document structure
+*)
+
+module P = Sage.Pipeline
+module Lf = Sage_logic.Lf
+module Winnow = Sage_disambig.Winnow
+module Parser = Sage_ccg.Parser
+module Chunker = Sage_nlp.Chunker
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type protocol = Icmp | Igmp | Ntp | Bfd | Tcp | Bgp
+
+let protocol_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "icmp" -> Ok Icmp
+    | "igmp" -> Ok Igmp
+    | "ntp" -> Ok Ntp
+    | "bfd" -> Ok Bfd
+    | "tcp" -> Ok Tcp
+    | "bgp" -> Ok Bgp
+    | other -> Error (`Msg (Printf.sprintf "unknown protocol %S" other))
+  in
+  let print ppf p =
+    Fmt.string ppf
+      (match p with
+       | Icmp -> "icmp" | Igmp -> "igmp" | Ntp -> "ntp" | Bfd -> "bfd"
+       | Tcp -> "tcp" | Bgp -> "bgp")
+  in
+  Arg.conv (parse, print)
+
+let protocol_arg =
+  let doc = "Protocol corpus to use: icmp, igmp, ntp, bfd, tcp or bgp." in
+  Arg.(value & opt protocol_conv Icmp & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc)
+
+let rewritten_arg =
+  let doc =
+    "Use the rewritten (disambiguated) specification instead of the original \
+     RFC text."
+  in
+  Arg.(value & flag & info [ "rewritten" ] ~doc)
+
+let verbose_arg =
+  let doc = "Verbose logging." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let spec_of = function
+  | Icmp -> P.icmp_spec ()
+  | Igmp -> P.igmp_spec ()
+  | Ntp -> P.ntp_spec ()
+  | Bfd -> P.bfd_spec ()
+  | Tcp -> P.tcp_spec ()
+  | Bgp -> P.bgp_spec ()
+
+let corpus_of proto rewritten =
+  match proto, rewritten with
+  | Icmp, false -> (Sage_corpus.Icmp_rfc.title, Sage_corpus.Icmp_rfc.text)
+  | Icmp, true -> (Sage_corpus.Icmp_rfc.title, Sage_corpus.Icmp_rfc.rewritten_text)
+  | Igmp, _ -> (Sage_corpus.Igmp_rfc.title, Sage_corpus.Igmp_rfc.text)
+  | Ntp, _ -> (Sage_corpus.Ntp_rfc.title, Sage_corpus.Ntp_rfc.text)
+  | Bfd, false -> (Sage_corpus.Bfd_rfc.title, Sage_corpus.Bfd_rfc.text)
+  | Bfd, true -> (Sage_corpus.Bfd_rfc.title, Sage_corpus.Bfd_rfc.rewritten_text)
+  | Tcp, _ -> (Sage_corpus.Tcp_rfc.title, Sage_corpus.Tcp_rfc.text)
+  | Bgp, _ -> (Sage_corpus.Bgp_rfc.title, Sage_corpus.Bgp_rfc.text)
+
+let status_string = function
+  | P.Parsed _ -> "parsed (1 LF)"
+  | P.Subject_supplied _ -> "parsed (subject supplied)"
+  | P.Zero_lf -> "ZERO LFs - needs rewriting"
+  | P.Ambiguous lfs ->
+    Printf.sprintf "AMBIGUOUS (%d LFs) - needs rewriting" (List.length lfs)
+  | P.Annotated_non_actionable -> "annotated non-actionable"
+
+(* ------------------------------------------------------------------ *)
+(* sage parse                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_cmd =
+  let sentence_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SENTENCE")
+  in
+  let field_arg =
+    let doc = "Field name providing context (enables subject supply)." in
+    Arg.(value & opt (some string) None & info [ "field" ] ~docv:"FIELD" ~doc)
+  in
+  let run proto verbose field sentence =
+    setup_logs verbose;
+    let spec = spec_of proto in
+    (* chunking *)
+    let chunks = Chunker.chunk_sentence ~dict:spec.P.dictionary sentence in
+    Printf.printf "chunks   : %s\n"
+      (String.concat " " (List.map (Fmt.str "%a" Chunker.pp_chunk) chunks));
+    (* raw parse *)
+    let result =
+      Parser.parse ~lexicon:spec.P.lexicon ~dict:spec.P.dictionary sentence
+    in
+    Printf.printf "base LFs : %d%s\n"
+      (List.length result.Parser.lfs)
+      (if result.Parser.truncated then " (chart truncated)" else "");
+    (* full analysis with winnowing *)
+    let report = P.analyze_sentence spec ?field sentence in
+    (match report.P.trace with
+     | Some tr ->
+       Printf.printf "winnowing: %s\n"
+         (String.concat " -> "
+            (List.map
+               (fun (label, n) -> Printf.sprintf "%s=%d" label n)
+               (Winnow.stage_counts tr)))
+     | None -> ());
+    Printf.printf "status   : %s\n" (status_string report.P.status);
+    (match report.P.status with
+     | P.Parsed lf | P.Subject_supplied lf ->
+       Printf.printf "LF       : %s\n" (Lf.to_string lf)
+     | P.Ambiguous lfs ->
+       List.iteri
+         (fun i lf -> Printf.printf "LF[%d]    : %s\n" i (Lf.to_string lf))
+         lfs
+     | P.Zero_lf | P.Annotated_non_actionable -> ());
+    0
+  in
+  let doc = "Chunk, CCG-parse and winnow a single specification sentence." in
+  Cmd.v
+    (Cmd.info "parse" ~doc)
+    Term.(const run $ protocol_arg $ verbose_arg $ field_arg $ sentence_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sage derivation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let derivation_cmd =
+  let sentence_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SENTENCE")
+  in
+  let run proto verbose sentence =
+    setup_logs verbose;
+    let spec = spec_of proto in
+    let result =
+      Parser.parse ~lexicon:spec.P.lexicon ~dict:spec.P.dictionary sentence
+    in
+    match result.Parser.items with
+    | [] ->
+      Printf.printf "no derivation (0 logical forms)\n";
+      1
+    | item :: rest ->
+      Printf.printf "%d derivation(s); showing the first:\n\n"
+        (List.length rest + 1);
+      Printf.printf "%s\n" (Fmt.str "%a" Parser.pp_deriv item.Parser.deriv);
+      0
+  in
+  let doc = "Show a CCG derivation tree for a sentence (paper Appendix B)." in
+  Cmd.v
+    (Cmd.info "derivation" ~doc)
+    Term.(const run $ protocol_arg $ verbose_arg $ sentence_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sage run                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_pipeline proto rewritten =
+  let spec = spec_of proto in
+  let title, text = corpus_of proto rewritten in
+  P.run spec ~title ~text
+
+let run_cmd =
+  let run proto verbose rewritten =
+    setup_logs verbose;
+    let result = run_pipeline proto rewritten in
+    Printf.printf "document  : %s\n" result.P.document.Sage_rfc.Document.title;
+    Printf.printf "sections  : %d\n"
+      (List.length result.P.document.Sage_rfc.Document.sections);
+    Printf.printf "sentences : %d\n" (List.length result.P.sentences);
+    Printf.printf "parsed    : %d\n" (List.length (P.parsed_sentences result));
+    Printf.printf "ambiguous : %d\n" (List.length (P.ambiguous_sentences result));
+    Printf.printf "zero-LF   : %d\n" (List.length (P.zero_lf_sentences result));
+    Printf.printf "annotated : %d\n"
+      (List.length
+         (List.filter
+            (fun r -> r.P.status = P.Annotated_non_actionable)
+            result.P.sentences));
+    Printf.printf "non-actionable (discovered): %d\n"
+      (List.length result.P.codegen.P.non_actionable);
+    Printf.printf "functions : %d\n" (List.length result.P.codegen.P.functions);
+    List.iter
+      (fun f ->
+        Printf.printf "  %-45s (%d statements)\n" f.Sage_codegen.Ir.fn_name
+          (List.length f.Sage_codegen.Ir.body))
+      result.P.codegen.P.functions;
+    if verbose then begin
+      Printf.printf "\nper-sentence detail:\n";
+      List.iter
+        (fun r ->
+          Printf.printf "  [%-28s] %s\n" (status_string r.P.status)
+            (if String.length r.P.sentence > 70 then
+               String.sub r.P.sentence 0 67 ^ "..."
+             else r.P.sentence))
+        result.P.sentences
+    end;
+    0
+  in
+  let doc = "Run the full pipeline (parse, winnow, generate) over a corpus." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sage code                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let code_cmd =
+  let fn_arg =
+    let doc = "Print only this generated function." in
+    Arg.(value & opt (some string) None & info [ "f"; "function" ] ~docv:"NAME" ~doc)
+  in
+  let run proto verbose rewritten fn =
+    setup_logs verbose;
+    let result = run_pipeline proto rewritten in
+    (match fn with
+     | None -> print_string result.P.codegen.P.c_code
+     | Some name ->
+       (match P.find_function result name with
+        | Some f -> print_endline (Sage_codegen.C_printer.render_func f)
+        | None ->
+          Printf.eprintf "no function %S; available:\n" name;
+          List.iter
+            (fun f -> Printf.eprintf "  %s\n" f.Sage_codegen.Ir.fn_name)
+            result.P.codegen.P.functions));
+    0
+  in
+  let doc = "Print the generated C code (structs, framework, functions)." in
+  Cmd.v
+    (Cmd.info "code" ~doc)
+    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ fn_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sage ambiguities                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ambiguities_cmd =
+  let run proto verbose rewritten =
+    setup_logs verbose;
+    let result = run_pipeline proto rewritten in
+    let ambiguous = P.ambiguous_sentences result in
+    let zero = P.zero_lf_sentences result in
+    if ambiguous = [] && zero = [] then begin
+      Printf.printf
+        "no ambiguities: every sentence parses to exactly one logical form\n";
+      0
+    end
+    else begin
+      if ambiguous <> [] then begin
+        Printf.printf
+          "sentences with MULTIPLE logical forms after winnowing (rewrite\n\
+           them; the surviving LFs below show where the ambiguity lies):\n\n";
+        List.iter
+          (fun r ->
+            Printf.printf "* %s\n" r.P.sentence;
+            (match r.P.status with
+             | P.Ambiguous lfs ->
+               List.iter
+                 (fun lf -> Printf.printf "    %s\n" (Lf.to_string lf))
+                 lfs
+             | _ -> ());
+            print_newline ())
+          ambiguous
+      end;
+      if zero <> [] then begin
+        Printf.printf "sentences with ZERO logical forms (rewrite them):\n\n";
+        List.iter (fun r -> Printf.printf "* %s\n\n" r.P.sentence) zero
+      end;
+      1
+    end
+  in
+  let doc =
+    "List the sentences a human must rewrite (the Figure 4 feedback loop): \
+     those with more than one logical form after winnowing, and those with \
+     none."
+  in
+  Cmd.v
+    (Cmd.info "ambiguities" ~doc)
+    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sage interop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let interop_cmd =
+  let run verbose rewritten =
+    setup_logs verbose;
+    let result = run_pipeline Icmp rewritten in
+    let stack = Sage_sim.Generated_stack.of_run result in
+    let service = Sage_sim.Icmp_service.generated stack in
+    let net = Sage_sim.Network.default_topology ~service () in
+    let target = Sage_sim.Network.server1_addr net in
+    let ping_res = Sage_sim.Ping.ping ~net target in
+    Printf.printf "ping %s: %s (%d/%d replies)\n"
+      (Sage_net.Addr.to_string target)
+      (if Sage_sim.Ping.success ping_res then "ok" else "FAILED")
+      ping_res.Sage_sim.Ping.received ping_res.Sage_sim.Ping.sent;
+    List.iter
+      (fun c ->
+        match c with
+        | Sage_sim.Ping.Ok_reply -> ()
+        | Sage_sim.Ping.No_reply r -> Printf.printf "  no reply: %s\n" r
+        | Sage_sim.Ping.Bad_reply fs ->
+          List.iter
+            (fun f -> Printf.printf "  FAIL: %s\n" (Sage_sim.Ping.failure_label f))
+            fs)
+      ping_res.Sage_sim.Ping.checks;
+    let tr = Sage_sim.Traceroute.traceroute ~net target in
+    Printf.printf "traceroute %s: %s\n"
+      (Sage_net.Addr.to_string target)
+      (if tr.Sage_sim.Traceroute.reached then "reached" else "FAILED");
+    List.iter
+      (fun (h : Sage_sim.Traceroute.hop) ->
+        Printf.printf "  %2d  %-16s icmp type %s  quote %s\n"
+          h.Sage_sim.Traceroute.ttl
+          (match h.Sage_sim.Traceroute.responder with
+           | Some a -> Sage_net.Addr.to_string a
+           | None -> "*")
+          (match h.Sage_sim.Traceroute.response_type with
+           | Some t -> string_of_int t
+           | None -> "-")
+          (if h.Sage_sim.Traceroute.quoted_probe_ok then "ok" else "BAD"))
+      tr.Sage_sim.Traceroute.hops;
+    if Sage_sim.Ping.success ping_res && tr.Sage_sim.Traceroute.reached then 0
+    else 1
+  in
+  let doc =
+    "Run ping and traceroute against the SAGE-generated ICMP implementation \
+     in the simulated network (the paper's 6.2 experiment)."
+  in
+  Cmd.v (Cmd.info "interop" ~doc) Term.(const run $ verbose_arg $ rewritten_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sage corpus                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_cmd =
+  let run proto verbose rewritten =
+    setup_logs verbose;
+    let title, text = corpus_of proto rewritten in
+    let doc = Sage_rfc.Document.parse ~title text in
+    Fmt.pr "%a@." Sage_rfc.Document.pp doc;
+    List.iter
+      (fun (s : Sage_rfc.Document.section) ->
+        match s.Sage_rfc.Document.diagram with
+        | Some d ->
+          Printf.printf "\n%s\n" (Sage_rfc.Header_diagram.to_c_struct d)
+        | None -> ())
+      doc.Sage_rfc.Document.sections;
+    0
+  in
+  let doc = "Show the pre-processed document structure and recovered structs." in
+  Cmd.v
+    (Cmd.info "corpus" ~doc)
+    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sage report                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let run proto verbose rewritten =
+    setup_logs verbose;
+    let result = run_pipeline proto rewritten in
+    print_string (Sage.Report.markdown result);
+    0
+  in
+  let doc =
+    "Produce the markdown report a spec author reads in the feedback loop: \
+     summary, rewrite worklist, non-actionable sentences, generated \
+     functions and recovered layouts."
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg)
+
+(* ------------------------------------------------------------------ *)
+(* main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc =
+    "SAGE: semi-automated protocol disambiguation and code generation \
+     (reproduction of Yen et al., SIGCOMM 2021)"
+  in
+  let info = Cmd.info "sage" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      parse_cmd; derivation_cmd; run_cmd; code_cmd; ambiguities_cmd;
+      interop_cmd; corpus_cmd; report_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

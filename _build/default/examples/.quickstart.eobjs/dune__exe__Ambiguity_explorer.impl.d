@@ -1,0 +1,1 @@
+examples/ambiguity_explorer.ml: List Printf Sage Sage_ccg Sage_disambig Sage_logic String

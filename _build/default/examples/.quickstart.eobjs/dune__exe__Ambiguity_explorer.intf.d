@@ -1,0 +1,1 @@
+examples/ambiguity_explorer.mli:

@@ -1,0 +1,1 @@
+examples/bfd_state_management.ml: Int64 List Option Printf Sage Sage_codegen Sage_corpus Sage_net Sage_sim

@@ -1,0 +1,1 @@
+examples/bfd_state_management.mli:

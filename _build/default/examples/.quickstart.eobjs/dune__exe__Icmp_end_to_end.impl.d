@@ -1,0 +1,1 @@
+examples/icmp_end_to_end.ml: Bytes Printf Sage Sage_corpus Sage_net Sage_sim

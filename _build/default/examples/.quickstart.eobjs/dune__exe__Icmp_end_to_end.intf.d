@@ -1,0 +1,1 @@
+examples/icmp_end_to_end.mli:

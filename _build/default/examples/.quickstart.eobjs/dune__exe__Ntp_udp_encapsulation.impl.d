@@ -1,0 +1,1 @@
+examples/ntp_udp_encapsulation.ml: Bytes Fmt List Printf Sage Sage_codegen Sage_corpus Sage_net Sage_sim

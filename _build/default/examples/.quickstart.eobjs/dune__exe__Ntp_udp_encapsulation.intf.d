@@ -1,0 +1,1 @@
+examples/ntp_udp_encapsulation.mli:

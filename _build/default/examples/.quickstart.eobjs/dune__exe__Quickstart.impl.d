@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Sage Sage_codegen Sage_corpus Sage_disambig Sage_logic Sage_net Sage_sim String

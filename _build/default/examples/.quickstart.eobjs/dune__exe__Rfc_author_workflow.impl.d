@@ -1,0 +1,1 @@
+examples/rfc_author_workflow.ml: List Printf Sage Sage_corpus Sage_sim

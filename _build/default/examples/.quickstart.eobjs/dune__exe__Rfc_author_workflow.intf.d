@@ -1,0 +1,1 @@
+examples/rfc_author_workflow.mli:

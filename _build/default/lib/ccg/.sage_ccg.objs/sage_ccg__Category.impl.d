@@ -1,0 +1,1 @@
+lib/ccg/category.ml: Fmt Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/ccg/category.mli: Format

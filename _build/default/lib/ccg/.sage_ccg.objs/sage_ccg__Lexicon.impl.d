@@ -1,0 +1,1 @@
+lib/ccg/lexicon.ml: Category Hashtbl List Option Printf Sage_logic Sage_nlp Sem String

@@ -1,0 +1,1 @@
+lib/ccg/lexicon.mli: Category Sage_nlp Sem

@@ -1,0 +1,1 @@
+lib/ccg/parser.ml: Array Category Fmt Hashtbl Lexicon List Sage_logic Sage_nlp Sem String

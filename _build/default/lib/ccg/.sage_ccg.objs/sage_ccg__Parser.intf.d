@@ -1,0 +1,1 @@
+lib/ccg/parser.mli: Category Format Lexicon Sage_logic Sage_nlp Sem

@@ -1,0 +1,1 @@
+lib/ccg/sem.ml: Fmt List Printf Sage_logic String

@@ -1,0 +1,1 @@
+lib/ccg/sem.mli: Format Sage_logic

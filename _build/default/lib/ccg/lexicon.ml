@@ -1,0 +1,350 @@
+module Lf = Sage_logic.Lf
+
+type origin = Core | Icmp | Igmp | Ntp | Bfd | Bgp
+
+type entry = {
+  phrase : string;
+  cat : Category.t;
+  sem : Sem.t;
+  origin : origin;
+}
+
+type t = { entries : entry list; by_phrase : (string, entry list) Hashtbl.t }
+
+let index entries =
+  let by_phrase = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_phrase e.phrase) in
+      Hashtbl.replace by_phrase e.phrase (existing @ [ e ]))
+    entries;
+  { entries; by_phrase }
+
+let make_entry origin phrase cat_string sem =
+  match Category.of_string cat_string with
+  | Ok cat -> { phrase = String.lowercase_ascii phrase; cat; sem; origin }
+  | Error e -> invalid_arg (Printf.sprintf "Lexicon.make_entry %S: %s" phrase e)
+
+(* Shorthand for building semantic terms *)
+let v = Sem.var
+let l = Sem.lam
+let a = Sem.app
+let p = Sem.pred
+let t = Sem.term
+
+(* identity on one argument: used for determiners, particles, auxiliaries *)
+let id1 = l "x" (v "x")
+
+(* auxiliary "is/are/was/were/be" in passive position: apply the participle *)
+let aux = l "pr" (l "x" (a (v "pr") (v "x")))
+
+let modal name = l "pr" (l "x" (p name [ a (v "pr") (v "x") ]))
+
+(* copula: "X is Y" |-> @Is(X, Y) *)
+let copula = l "x" (l "y" (p Lf.p_is [ v "y"; v "x" ]))
+
+(* equality test: "code = 0" |-> @Cmp('eq', code, 0) *)
+let eq_test = l "x" (l "y" (p Lf.p_cmp [ t "eq"; v "y"; v "x" ]))
+
+let binary_pred name = l "x" (l "y" (p name [ v "y"; v "x" ]))
+
+(* participles: "reversed" |-> λx.@Action('reverse', x) *)
+let participle fname = l "x" (p Lf.p_action [ Sem.lf (Lf.Str fname); v "x" ])
+
+(* "changed to V" / "set to V": λv.λx.@Set(x, v) *)
+let set_to = l "val" (l "x" (p Lf.p_set [ v "x"; v "val" ]))
+
+(* transitive verb: "identifies Y" |-> λy.λsubj.@Action(f, subj, y) *)
+let transitive fname =
+  l "obj" (l "subj" (p Lf.p_action [ Sem.lf (Lf.Str fname); v "subj"; v "obj" ]))
+
+(* ditransitive send: "sends OBJ to DEST" *)
+let send_verb =
+  l "obj" (l "dest" (l "subj" (p Lf.p_send [ v "subj"; v "obj"; v "dest" ])))
+
+let e = make_entry
+
+let core_entries () =
+  [
+    (* ---- determiners and particles ---- *)
+    e Core "the" "NP/NP" id1;
+    e Core "a" "NP/NP" id1;
+    e Core "an" "NP/NP" id1;
+    e Core "this" "NP/NP" id1;
+    e Core "that" "NP/NP" id1;
+    e Core "these" "NP/NP" id1;
+    e Core "those" "NP/NP" id1;
+    e Core "its" "NP/NP" id1;
+    e Core "any" "NP/NP" id1;
+    e Core "each" "NP/NP" id1;
+    e Core "no" "NP/NP" (l "x" (p "@No" [ v "x" ]));
+    (* ---- copulas and auxiliaries ---- *)
+    e Core "is" "(S\\NP)/NP" copula;
+    e Core "is" "(S\\NP)/(S\\NP)" aux;
+    e Core "are" "(S\\NP)/NP" copula;
+    e Core "are" "(S\\NP)/(S\\NP)" aux;
+    e Core "was" "(S\\NP)/NP" copula;
+    e Core "was" "(S\\NP)/(S\\NP)" aux;
+    e Core "were" "(S\\NP)/NP" copula;
+    e Core "were" "(S\\NP)/(S\\NP)" aux;
+    e Core "be" "(S\\NP)/NP" copula;
+    e Core "be" "(S\\NP)/(S\\NP)" aux;
+    e Core "been" "(S\\NP)/(S\\NP)" aux;
+    (* ---- modals ---- *)
+    e Core "may" "(S\\NP)/(S\\NP)" (modal Lf.p_may);
+    e Core "might" "(S\\NP)/(S\\NP)" (modal Lf.p_may);
+    e Core "can" "(S\\NP)/(S\\NP)" (modal Lf.p_may);
+    e Core "must" "(S\\NP)/(S\\NP)" (modal Lf.p_must);
+    e Core "shall" "(S\\NP)/(S\\NP)" (modal Lf.p_must);
+    e Core "should" "(S\\NP)/(S\\NP)" (modal Lf.p_must);
+    e Core "will" "(S\\NP)/(S\\NP)" aux;
+    e Core "would" "(S\\NP)/(S\\NP)" aux;
+    e Core "not" "(S\\NP)/(S\\NP)" (modal Lf.p_not);
+    (* "is not 1": negation of a value *)
+    e Core "not" "NP/NP" (l "x" (p Lf.p_not [ v "x" ]));
+    e Core "does" "(S\\NP)/(S\\NP)" aux;
+    e Core "do" "(S\\NP)/(S\\NP)" aux;
+    (* ---- prepositions ---- *)
+    e Core "of" "(NP\\NP)/NP" (binary_pred Lf.p_of);
+    (* over-generating attachment: "A of (B is C)" — CCG cannot rule this
+       out lexically (paper §4.1 "predicate order-sensitivity") *)
+    e Core "of" "(NP\\NP)/S" (binary_pred Lf.p_of);
+    e Core "in" "PP/NP" id1;
+    e Core "in" "(NP\\NP)/NP" (binary_pred Lf.p_in);
+    e Core "with" "PP/NP" id1;
+    e Core "for" "PP/NP" id1;
+    e Core "by" "PP/NP" id1;
+    e Core "to" "PP/NP" id1;
+    e Core "at" "PP/NP" id1;
+    e Core "from" "(NP\\NP)/NP" (binary_pred "@From");
+    e Core "from" "PP/NP" id1;
+    e Core "plus" "(NP\\NP)/NP" (binary_pred "@Plus");
+    (* purpose infinitive modifying a noun phrase:
+       "an identifier to aid in matching ..." *)
+    e Core "to" "(NP\\NP)/(S\\NP)"
+      (l "vp" (l "n" (p "@Purpose" [ v "n"; a (v "vp") (v "n") ])));
+    (* bare infinitive marker: "used to select ..." *)
+    e Core "to" "(S\\NP)/(S\\NP)" aux;
+    (* sentence-internal pronoun; the context dictionary resolves the
+       referent (the field under description) *)
+    e Core "it" "NP" (t "it");
+    (* purpose infinitive opening a sentence: "To form an echo reply
+       message, <S>" — the goal names the message whose handler the code
+       belongs to *)
+    e Core "to" "(S/S)/(S\\NP)"
+      (l "vp" (l "s" (p "@Goal" [ a (v "vp") (Sem.term "it"); v "s" ])));
+    (* ---- conditionals ----
+       CCG's flexibility also licenses the swapped argument order
+       "@If(B, A)" for "If A, B" (paper §4.1 "order-sensitive predicate
+       arguments"); the parser's over-generation pass reproduces that for
+       imperative consequents, where the mistake is detectable. *)
+    e Core "if" "(S/S)/S"
+      (l "c" (l "b" (p Lf.p_if [ v "c"; v "b" ])));
+    e Core "when" "(S/S)/S" (l "c" (l "b" (p Lf.p_if [ v "c"; v "b" ])));
+    e Core "then" "S/S" id1;
+    e Core "otherwise" "S/S" (l "s" (p "@Otherwise" [ v "s" ]));
+    (* ---- adverbs that do not change semantics ---- *)
+    e Core "simply" "(S\\NP)/(S\\NP)" aux;
+    e Core "immediately" "(S\\NP)/(S\\NP)" aux;
+    e Core "only" "NP/NP" id1;
+    e Core "also" "S/S" id1;
+    (* ---- symbols ---- *)
+    e Core "=" "(S\\NP)/NP" eq_test;
+    (* over-generation: "=" as assignment (paper: "in one logical form,
+       code is assigned zero, but in the others, the code is tested") *)
+    e Core "=" "(S\\NP)/NP" copula;
+    (* ---- numbers in words ---- *)
+    e Core "zero" "NP" (Sem.num 0);
+    e Core "one" "NP" (Sem.num 1);
+    e Core "nonzero" "NP" (t "nonzero");
+    e Core "non-zero" "NP" (t "nonzero");
+  ]
+
+let icmp_entries () =
+  [
+    (* keyword nouns called out by the paper *)
+    e Icmp "checksum" "NP" (t "checksum");
+    (* passives and participles describing header-field operations *)
+    e Icmp "reversed" "S\\NP" (participle "reverse");
+    e Icmp "exchanged" "(S\\NP)/PP"
+      (l "other" (l "x"
+        (p Lf.p_action [ Sem.lf (Lf.Str "swap"); v "x"; v "other" ])));
+    e Icmp "recomputed" "S\\NP" (participle "recompute");
+    e Icmp "computed" "S\\NP" (participle "compute");
+    e Icmp "changed" "(S\\NP)/PP" set_to;
+    e Icmp "set" "(S\\NP)/PP" set_to;
+    e Icmp "replaced" "S\\NP" (participle "replace");
+    e Icmp "replaced" "(S\\NP)/PP"
+      (l "pp" (l "x" (p Lf.p_action [ Sem.lf (Lf.Str "replace"); v "x"; v "pp" ])));
+    e Icmp "discarded" "S\\NP" (l "x" (p Lf.p_discard [ v "x" ]));
+    e Icmp "detected" "S\\NP" (participle "detect");
+    e Icmp "received" "S\\NP" (participle "receive");
+    e Icmp "sent" "(S\\NP)/PP"
+      (l "dest" (l "x" (p Lf.p_send [ t "it"; v "x"; v "dest" ])));
+    e Icmp "sent" "S\\NP" (participle "send");
+    e Icmp "taken" "(S\\NP)/PP"
+      (l "src" (l "x" (p "@CopyFrom" [ v "x"; v "src" ])));
+    e Icmp "inserted" "(S\\NP)/PP"
+      (l "dst" (l "x" (p "@CopyTo" [ v "x"; v "dst" ])));
+    e Icmp "incremented" "S\\NP" (participle "increment");
+    e Icmp "decremented" "S\\NP" (participle "decrement");
+    e Icmp "echoed" "S\\NP" (participle "echo");
+    e Icmp "returned" "(S\\NP)/PP"
+      (l "dest" (l "x" (p Lf.p_send [ t "it"; v "x"; v "dest" ])));
+    e Icmp "returned" "S\\NP" (participle "return");
+    e Icmp "added" "(S\\NP)/PP"
+      (l "dst" (l "x" (p "@CopyTo" [ v "x"; v "dst" ])));
+    (* active verbs used in behavior sentences *)
+    e Icmp "sends" "((S\\NP)/PP)/NP" send_verb;
+    e Icmp "send" "((S\\NP)/PP)/NP" send_verb;
+    e Icmp "returns" "((S\\NP)/PP)/NP" send_verb;
+    e Icmp "return" "((S\\NP)/PP)/NP" send_verb;
+    e Icmp "identifies" "(S\\NP)/NP" (transitive "identify");
+    e Icmp "receives" "(S\\NP)/NP" (transitive "receive");
+    e Icmp "discards" "(S\\NP)/NP"
+      (l "obj" (l "subj" (p Lf.p_discard [ v "obj" ])));
+    e Icmp "discard" "(S\\NP)/NP"
+      (l "obj" (l "subj" (p Lf.p_discard [ v "obj" ])));
+    e Icmp "forms" "(S\\NP)/NP" (transitive "form");
+    e Icmp "form" "(S\\NP)/NP" (transitive "form");
+    e Icmp "forwards" "(S\\NP)/NP" (transitive "forward");
+    e Icmp "computes" "(S\\NP)/NP" (transitive "compute");
+    e Icmp "matches" "(S\\NP)/NP" (transitive "match");
+    e Icmp "exceeds" "(S\\NP)/NP"
+      (l "b" (l "a" (p Lf.p_cmp [ t "gt"; v "a"; v "b" ])));
+    e Icmp "reaches" "(S\\NP)/NP"
+      (l "b" (l "a" (p Lf.p_cmp [ t "ge"; v "a"; v "b" ])));
+    (* gerunds and clause-level machinery *)
+    e Icmp "computing" "NP/NP" (l "x" (p Lf.p_compute [ v "x" ]));
+    e Icmp "matching" "NP/NP" (l "x" (p "@Match" [ v "x" ]));
+    e Icmp "forming" "NP/NP" (l "x" (p "@Form" [ v "x" ]));
+    e Icmp "aid" "(S\\NP)/PP"
+      (l "pp" (l "x" (p Lf.p_action [ Sem.lf (Lf.Str "aid"); v "x"; v "pp" ])));
+    e Icmp "where" "(NP\\NP)/S" (l "s" (l "n" (p "@Where" [ v "n"; v "s" ])));
+    e Icmp "starting" "(NP\\NP)/PP"
+      (l "at" (l "n" (p "@StartAt" [ v "n"; v "at" ])));
+    (* advice: "For computing the checksum, <S>" means the code of <S> runs
+       before the checksum computation (paper §5.1, @AdvBefore) *)
+    e Icmp "for" "(S/S)/NP"
+      (l "ctx" (l "s" (p Lf.p_adv_before [ v "ctx"; v "s" ])));
+    (* over-generation: the adjunct read with the arguments flipped; the
+       type check rejects it because advice context must be an action *)
+    e Icmp "for" "(S/S)/NP"
+      (l "ctx" (l "s" (p Lf.p_adv_before [ v "s"; v "ctx" ])));
+  ]
+
+let igmp_entries () =
+  [
+    e Igmp "reports" "((S\\NP)/PP)/NP" send_verb;
+    e Igmp "report" "((S\\NP)/PP)/NP" send_verb;
+    e Igmp "joins" "(S\\NP)/NP" (transitive "join");
+    e Igmp "leaves" "(S\\NP)/NP" (transitive "leave");
+    e Igmp "ignored" "S\\NP" (participle "ignore");
+    e Igmp "delayed" "(S\\NP)/PP"
+      (l "by" (l "x" (p Lf.p_action [ Sem.lf (Lf.Str "delay"); v "x"; v "by" ])));
+    e Igmp "addressed" "(S\\NP)/PP"
+      (l "dst" (l "x" (p Lf.p_set [ t "destination address"; v "dst" ])));
+    e Igmp "queried" "S\\NP" (participle "query");
+  ]
+
+let ntp_entries () =
+  [
+    e Ntp "encapsulated" "(S\\NP)/PP"
+      (l "inside" (l "x" (p "@Encapsulate" [ v "x"; v "inside" ])));
+    e Ntp "called" "S\\NP" (l "x" (p Lf.p_call [ v "x" ]));
+    e Ntp "operating" "(S\\NP)/PP"
+      (l "mode" (l "x" (p Lf.p_cmp [ t "eq"; t "mode"; v "mode" ])));
+    e Ntp "counts" "(S\\NP)/NP" (transitive "count");
+    e Ntp "expires" "S\\NP" (l "x" (p "@Event" [ Sem.lf (Lf.Str "expire"); v "x" ]));
+  ]
+
+let bfd_entries () =
+  [
+    e Bfd "used" "(S\\NP)/(S\\NP)" aux;
+    e Bfd "select" "(S\\NP)/NP"
+      (l "obj" (l "key" (p Lf.p_select [ v "obj"; v "key" ])));
+    (* "no session is found": a lookup-result condition *)
+    e Bfd "found" "S\\NP" (l "x" (p "@Found" [ v "x" ]));
+    e Bfd "associated" "(S\\NP)/PP"
+      (l "w" (l "x" (p "@AssociatedWith" [ v "x"; v "w" ])));
+    e Bfd "cease" "(S\\NP)/NP"
+      (l "obj" (l "subj" (p Lf.p_action [ Sem.lf (Lf.Str "cease"); v "subj"; v "obj" ])));
+    e Bfd "ceases" "(S\\NP)/NP"
+      (l "obj" (l "subj" (p Lf.p_action [ Sem.lf (Lf.Str "cease"); v "subj"; v "obj" ])));
+    e Bfd "initialized" "(S\\NP)/PP" set_to;
+    e Bfd "initiated" "S\\NP" (participle "initiate");
+    e Bfd "transmitted" "S\\NP" (participle "transmit");
+    e Bfd "transmitting" "NP/NP" (l "x" (p "@Transmit" [ v "x" ]));
+    e Bfd "increments" "(S\\NP)/NP" (transitive "increment");
+    e Bfd "updates" "(S\\NP)/NP" (transitive "update");
+    e Bfd "terminated" "S\\NP" (participle "terminate");
+    e Bfd "active" "NP" (t "active");
+    e Bfd "up" "NP" (t "Up");
+    e Bfd "down" "NP" (t "Down");
+    e Bfd "init" "NP" (t "Init");
+  ]
+
+let bgp_entries () =
+  [
+    (* RFC 4271 FSM prose: "In response to a ManualStart event, the local
+       system ... changes its state to Connect." *)
+    e Bgp "occurs" "S\\NP"
+      (l "x" (p "@Event" [ Sem.lf (Lf.Str "occur"); v "x" ]));
+    e Bgp "changes" "((S\\NP)/PP)/NP"
+      (l "obj" (l "to" (l "subj" (p Lf.p_set [ v "obj"; v "to" ]))));
+    e Bgp "sends" "(S\\NP)/NP"
+      (l "obj" (l "subj" (p Lf.p_send [ v "subj"; v "obj"; t "remote system" ])));
+    e Bgp "drops" "(S\\NP)/NP"
+      (l "obj" (l "subj" (p Lf.p_discard [ v "obj" ])));
+    e Bgp "releases" "(S\\NP)/NP" (transitive "release");
+    e Bgp "starts" "(S\\NP)/NP" (transitive "start");
+    e Bgp "restarts" "(S\\NP)/NP" (transitive "restart");
+  ]
+
+let core () = index (core_entries ())
+let icmp () = index (core_entries () @ icmp_entries ())
+let igmp () = index (core_entries () @ icmp_entries () @ igmp_entries ())
+
+let ntp () =
+  index (core_entries () @ icmp_entries () @ igmp_entries () @ ntp_entries ())
+
+let bfd () =
+  index
+    (core_entries () @ icmp_entries () @ igmp_entries () @ ntp_entries ()
+   @ bfd_entries ())
+
+let bgp () =
+  index
+    (core_entries () @ icmp_entries () @ igmp_entries () @ ntp_entries ()
+   @ bfd_entries () @ bgp_entries ())
+
+let entries lex = lex.entries
+
+let count ?origin lex =
+  match origin with
+  | None -> List.length lex.entries
+  | Some o -> List.length (List.filter (fun e -> e.origin = o) lex.entries)
+
+let lookup lex phrase =
+  Option.value ~default:[]
+    (Hashtbl.find_opt lex.by_phrase (String.lowercase_ascii phrase))
+
+let add lex new_entries = index (lex.entries @ new_entries)
+
+let entries_for_chunk lex (chunk : Sage_nlp.Chunker.chunk) =
+  let phrase = String.lowercase_ascii chunk.text in
+  let explicit = lookup lex phrase in
+  let fallback =
+    if explicit <> [] then []
+    else if chunk.is_np then
+      (* unknown noun phrase: denote itself *)
+      [ { phrase; cat = Category.np; sem = Sem.term phrase; origin = Core } ]
+    else
+      match chunk.tokens with
+      | [ tok ] when Sage_nlp.Token.is_number tok ->
+        (match int_of_string_opt tok.text with
+         | Some n -> [ { phrase; cat = Category.np; sem = Sem.num n; origin = Core } ]
+         | None -> [])
+      | _ -> []
+  in
+  explicit @ fallback

@@ -1,0 +1,1 @@
+lib/codegen/assemble.ml: Generate Ir List Printf Sage_rfc String

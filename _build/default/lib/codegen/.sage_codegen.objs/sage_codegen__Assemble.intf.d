@@ -1,0 +1,1 @@
+lib/codegen/assemble.mli: Generate Ir

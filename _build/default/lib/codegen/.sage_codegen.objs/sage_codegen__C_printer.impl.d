@@ -1,0 +1,1 @@
+lib/codegen/c_printer.ml: Buffer Fmt Ir List Printf Sage_rfc

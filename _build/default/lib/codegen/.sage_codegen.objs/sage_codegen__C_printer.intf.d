@@ -1,0 +1,1 @@
+lib/codegen/c_printer.mli: Ir Sage_rfc

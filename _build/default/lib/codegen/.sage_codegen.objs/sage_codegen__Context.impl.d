@@ -1,0 +1,1 @@
+lib/codegen/context.ml: Fmt Ir List Option Sage_rfc String

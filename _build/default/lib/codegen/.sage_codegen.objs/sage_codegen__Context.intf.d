@@ -1,0 +1,1 @@
+lib/codegen/context.mli: Format Ir Sage_rfc

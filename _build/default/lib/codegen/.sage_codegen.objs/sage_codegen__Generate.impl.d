@@ -1,0 +1,1 @@
+lib/codegen/generate.ml: Context Ir List Option Printf Result Sage_logic String

@@ -1,0 +1,1 @@
+lib/codegen/generate.mli: Context Ir Sage_logic

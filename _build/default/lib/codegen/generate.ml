@@ -1,0 +1,607 @@
+module Lf = Sage_logic.Lf
+
+type advice = { before_field : string; adv_stmts : Ir.stmt list }
+
+type placement = {
+  stmts : Ir.stmt list;
+  advice : advice list;
+  target : string option;
+}
+
+let ok_stmts stmts = Ok { stmts; advice = []; target = None }
+
+let handler_names =
+  [
+    Lf.p_is; Lf.p_set; Lf.p_if; Lf.p_and; Lf.p_or; Lf.p_not; Lf.p_may;
+    Lf.p_must; Lf.p_cmp; Lf.p_action; Lf.p_send; Lf.p_discard; Lf.p_select;
+    Lf.p_compute; Lf.p_call; Lf.p_adv_before; Lf.p_adv_comment; "@Goal";
+    "@Purpose"; "@Where"; Lf.p_of; Lf.p_in; "@StartAt"; "@Plus"; "@From";
+  ]
+
+let handler_count = List.length handler_names
+
+(* ------------------------------------------------------------------ *)
+(* Chain analysis: "A of B in C" fragments flattened into parts.       *)
+(* ------------------------------------------------------------------ *)
+
+type chain = {
+  parts : Lf.t list;          (** non-@Of/@In/@StartAt constituents *)
+  start_marker : Lf.t option; (** the @StartAt marker, if any *)
+}
+
+let rec flatten_chain lf =
+  match lf with
+  | Lf.Pred (p, [ a; b ]) when p = Lf.p_of || p = Lf.p_in || p = "@Compound" ->
+    let ca = flatten_chain a and cb = flatten_chain b in
+    {
+      parts = ca.parts @ cb.parts;
+      start_marker =
+        (match ca.start_marker with Some m -> Some m | None -> cb.start_marker);
+    }
+  | Lf.Pred ("@StartAt", [ base; marker ]) ->
+    let cb = flatten_chain base in
+    { parts = cb.parts; start_marker = Some marker }
+  | Lf.Pred ("@OfChain", args) ->
+    List.fold_left
+      (fun acc a ->
+        match a with
+        | Lf.Pred ("@StartMarker", [ m ]) -> { acc with start_marker = Some m }
+        | other ->
+          let c = flatten_chain other in
+          {
+            parts = acc.parts @ c.parts;
+            start_marker =
+              (match acc.start_marker with Some m -> Some m | None -> c.start_marker);
+          })
+      { parts = []; start_marker = None }
+      args
+  | Lf.Pred ("@Purpose", (head :: _)) | Lf.Pred ("@Where", (head :: _)) ->
+    flatten_chain head
+  | other -> { parts = [ other ]; start_marker = None }
+
+let term_text = function
+  | Lf.Term t -> Some t
+  | Lf.Str s -> Some s
+  | _ -> None
+
+(* Does the chain mention a message name, and is it a reply-side one? *)
+let chain_message ctx chain =
+  List.find_map
+    (fun part ->
+      match term_text part with
+      | None -> None
+      | Some t ->
+        (match Context.resolve ctx t with
+         | Some (Context.Message m) -> Some m
+         | _ -> None))
+    chain.parts
+
+(* The protocol's own generic message name ("the ICMP message") does not
+   scope a sentence to a particular message variant. *)
+let specific_message ctx msg =
+  match msg with
+  | None -> None
+  | Some m ->
+    let m' = String.lowercase_ascii m in
+    let proto = String.lowercase_ascii ctx.Context.protocol in
+    let generic =
+      [
+        proto ^ " message"; proto ^ " segment"; proto ^ " packet";
+        proto ^ " datagram"; "message"; "packet"; "segment"; "datagram";
+        "udp datagram"; "bfd control packet";
+      ]
+    in
+    if List.mem m' generic then None else msg
+
+let mentions_reply = function
+  | None -> false
+  | Some m ->
+    let m = String.lowercase_ascii m in
+    let rec contains i =
+      i + 5 <= String.length m && (String.sub m i 5 = "reply" || contains (i + 1))
+    in
+    contains 0
+
+(* ------------------------------------------------------------------ *)
+(* Expressions.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_of_lf ctx lf =
+  match lf with
+  | Lf.Num n -> Ok (Ir.Int n)
+  | Lf.Str s -> Ok (Ir.Str s)
+  | Lf.Var v -> Error (Printf.sprintf "unresolved variable $%s" v)
+  | Lf.Term t -> expr_of_term ctx t
+  | Lf.Pred (p, [ a; b ]) when p = Lf.p_of || p = Lf.p_in ->
+    (* framework-function application reads "F of X" *)
+    (match a with
+     | Lf.Term ta ->
+       (match Context.resolve ctx ta with
+        | Some (Context.Framework_fn f) ->
+          Result.map (fun eb -> Ir.Call (f, [ eb ])) (expr_of_lf ctx b)
+        | _ -> chain_expr ctx lf)
+     | _ -> chain_expr ctx lf)
+  | Lf.Pred (p, _) when p = "@StartAt" || p = "@OfChain" || p = "@Compound" ->
+    chain_expr ctx lf
+  | Lf.Pred ("@Plus", [ a; b ]) ->
+    (match expr_of_lf ctx a, expr_of_lf ctx b with
+     | Ok ea, Ok eb -> Ok (Ir.Call ("concat", [ ea; eb ]))
+     | Error e, _ | _, Error e -> Error e)
+  | Lf.Pred ("@From", [ a; b ]) ->
+    (* "X from the original datagram's data": extract X out of the stored
+       original datagram *)
+    (match expr_of_lf ctx b with
+     | Ok (Ir.Param ("original_datagram" | "original_datagram_data")) ->
+       let label =
+         String.concat " and "
+           (List.filter_map term_text (flatten_chain a).parts)
+       in
+       Ok (Ir.Call ("original_field", [ Ir.Str label ]))
+     | Ok _ ->
+       (* "X from <place>": the place qualifies which side X is read
+          from; fall back to the attachment machinery on X alone *)
+       expr_of_lf ctx a
+     | Error e -> Error e)
+  | Lf.Pred (p, [ Lf.Term "eq"; a; Lf.Term "nonzero" ]) when p = Lf.p_cmp ->
+    (* "X is nonzero" denotes the test X != 0, not X == 1 *)
+    Result.map (fun ea -> Ir.Cmp ("ne", ea, Ir.Int 0)) (expr_of_lf ctx a)
+  | Lf.Pred (p, [ Lf.Term "eq"; a; Lf.Pred (n, [ b ]) ])
+    when p = Lf.p_cmp && n = Lf.p_not ->
+    (* "X is not 1" is the test X != 1 *)
+    (match expr_of_lf ctx a, expr_of_lf ctx b with
+     | Ok ea, Ok eb -> Ok (Ir.Cmp ("ne", ea, eb))
+     | Error e, _ | _, Error e -> Error e)
+  | Lf.Pred (p, [ Lf.Term op; a; b ]) when p = Lf.p_cmp ->
+    (match expr_of_lf ctx a, expr_of_lf ctx b with
+     | Ok ea, Ok eb -> Ok (Ir.Cmp (op, ea, eb))
+     | Error e, _ | _, Error e -> Error e)
+  | Lf.Pred ("@Found", [ x ]) ->
+    (* session-lookup result: "no session is found" negates it *)
+    let negated = Lf.mem_pred "@No" x in
+    let call = Ir.Call ("session_found", []) in
+    Ok (if negated then Ir.Not call else call)
+  | Lf.Pred (p, [ a; b ]) when p = Lf.p_and ->
+    (match expr_of_lf ctx a, expr_of_lf ctx b with
+     | Ok ea, Ok eb -> Ok (Ir.And (ea, eb))
+     | Error e, _ | _, Error e -> Error e)
+  | Lf.Pred (p, [ a; b ]) when p = Lf.p_or ->
+    (match expr_of_lf ctx a, expr_of_lf ctx b with
+     | Ok ea, Ok eb -> Ok (Ir.Or (ea, eb))
+     | Error e, _ | _, Error e -> Error e)
+  | Lf.Pred (p, [ a ]) when p = Lf.p_not ->
+    Result.map (fun ea -> Ir.Not ea) (expr_of_lf ctx a)
+  | Lf.Pred (p, [ a; b ]) when p = Lf.p_is ->
+    (* an assignment reading in condition position denotes a test *)
+    (match expr_of_lf ctx a, expr_of_lf ctx b with
+     | Ok ea, Ok eb -> Ok (Ir.Cmp ("eq", ea, eb))
+     | Error e, _ | _, Error e -> Error e)
+  | Lf.Pred ("@Purpose", head :: _) | Lf.Pred ("@Where", head :: _) ->
+    expr_of_lf ctx head
+  | Lf.Pred ("@Event", [ Lf.Str ev; x ]) ->
+    Result.map (fun ex -> Ir.Call ("event_" ^ ev, [ ex ])) (expr_of_lf ctx x)
+  | Lf.Pred (p, _) -> Error (Printf.sprintf "no expression handler for %s" p)
+
+and expr_of_term ctx t =
+  match Context.resolve ctx t with
+  | Some (Context.Proto_field f) -> Ok (Ir.Field (Ir.Proto, f))
+  | Some (Context.Ip_field f) -> Ok (Ir.Field (Ir.Ip, f))
+  | Some (Context.State_var v) -> Ok (Ir.Field (Ir.State, v))
+  | Some (Context.Env_param p) -> Ok (Ir.Param p)
+  | Some (Context.Value n) -> Ok (Ir.Int n)
+  | Some (Context.Framework_fn f) -> Ok (Ir.Call (f, []))
+  | Some (Context.Message m) ->
+    (* "the one's complement sum of the IGMP message": the serialized
+       message itself is the value *)
+    Ok (Ir.Call ("whole_message", [ Ir.Str m ]))
+  | None -> Error (Printf.sprintf "unresolvable term %S" t)
+
+(* Attachment chains: resolve the field-denoting part; the message part
+   decides the side (request vs outgoing); framework functions wrap. *)
+and chain_expr ctx lf =
+  let chain = flatten_chain lf in
+  let message = specific_message ctx (chain_message ctx chain) in
+  let incoming =
+    match ctx.Context.role with
+    | Some Ir.Receiver ->
+      (match message with Some _ -> not (mentions_reply message) | None -> false)
+    | _ -> false
+  in
+  (* split parts into framework fns (in order) and the base entity *)
+  let fns, entities =
+    List.partition
+      (fun part ->
+        match term_text part with
+        | Some t ->
+          (match Context.resolve ctx t with
+           | Some (Context.Framework_fn _) -> true
+           | _ -> false)
+        | None -> false)
+      chain.parts
+  in
+  let entities =
+    List.filter
+      (fun part ->
+        match term_text part with
+        | Some t ->
+          (match Context.resolve ctx t with
+           | Some (Context.Message _) -> false
+           | _ -> true)
+        | None -> true)
+      entities
+  in
+  let base =
+    match chain.start_marker, entities, message with
+    | Some marker, _, _ ->
+      (* "the ICMP message starting with the ICMP type" *)
+      Result.map (fun em -> Ir.Call ("message_from", [ em ])) (expr_of_lf ctx marker)
+    | None, e :: _, _ ->
+      (* guard: an un-flattenable predicate comes back as itself; do not
+         recurse into the identical term *)
+      if Lf.equal e lf then
+        Error
+          (Printf.sprintf "unresolvable attachment %s" (Lf.to_string lf))
+      else expr_of_lf ctx e
+    | None, [], Some m -> Ok (Ir.Call ("whole_message", [ Ir.Str m ]))
+    | None, [], None -> Error "empty attachment chain"
+  in
+  match base with
+  | Error e -> Error e
+  | Ok base ->
+    let base = if incoming then to_request base else base in
+    let wrapped =
+      List.fold_left
+        (fun acc fn_part ->
+          match term_text fn_part with
+          | Some t ->
+            (match Context.resolve ctx t with
+             | Some (Context.Framework_fn f) -> Ir.Call (f, [ acc ])
+             | _ -> acc)
+          | None -> acc)
+        base (List.rev fns)
+    in
+    Ok wrapped
+
+and to_request = function
+  | Ir.Field (l, f) -> Ir.Request_field (l, f)
+  | Ir.Call (f, args) -> Ir.Call (f, List.map to_request args)
+  | other -> other
+
+(* ------------------------------------------------------------------ *)
+(* L-values.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lvalue_of_lf ctx lf =
+  let chain = flatten_chain lf in
+  let field_part =
+    List.find_map
+      (fun part ->
+        match term_text part with
+        | None -> None
+        | Some t ->
+          (match Context.resolve ctx t with
+           | Some (Context.Proto_field f) -> Some (Ir.Lfield (Ir.Proto, f))
+           | Some (Context.Ip_field f) -> Some (Ir.Lfield (Ir.Ip, f))
+           | Some (Context.State_var v) -> Some (Ir.Lfield (Ir.State, v))
+           | _ -> None))
+      chain.parts
+  in
+  match field_part with
+  | Some lv -> Ok lv
+  | None ->
+    Error
+      (Printf.sprintf "no assignable field in %s" (Lf.to_string lf))
+
+(* ------------------------------------------------------------------ *)
+(* Statements.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let is_swap_target ctx lf =
+  (* "@Action('reverse', X)" where X names the address pair *)
+  match term_text lf with
+  | Some t ->
+    (match Context.resolve ctx t with
+     | Some (Context.Framework_fn "swap_ip_addresses") -> true
+     | _ ->
+       let t = String.lowercase_ascii t in
+       t = "source and destination addresses" || t = "addresses")
+  | None ->
+    (match lf with
+     | Lf.Pred (p, [ a; b ]) when p = Lf.p_and ->
+       let names = List.filter_map term_text [ a; b ] in
+       List.length names = 2
+       && List.for_all
+            (fun n ->
+              match Context.resolve ctx n with
+              | Some (Context.Ip_field _) -> true
+              | _ -> false)
+            names
+     | _ -> false)
+
+let rec gen_sentence ctx lf =
+  match lf with
+  | Lf.Pred (p, [ lhs; rhs ]) when p = Lf.p_is || p = Lf.p_set ->
+    gen_assign ctx lhs rhs
+  | Lf.Pred (p, [ cond; body ]) when p = Lf.p_if ->
+    (* intra-sentence co-reference: "If the X field is nonzero, it MUST
+       be used ..." — the condition's subject field becomes the referent
+       of "it" in the body *)
+    let field_resolves =
+      match ctx.Context.field with
+      | Some f -> Context.resolve ctx f <> None
+      | None -> false
+    in
+    let body_ctx =
+      if field_resolves then ctx
+      else
+        let subject =
+          List.find_map
+            (fun leaf ->
+              match term_text leaf with
+              | Some t ->
+                (match Context.resolve ctx t with
+                 | Some (Context.Proto_field _) -> Some t
+                 | _ -> None)
+              | None -> None)
+            (Lf.leaves cond)
+        in
+        { ctx with Context.field = subject }
+    in
+    (match expr_of_lf ctx cond, gen_sentence body_ctx body with
+     | Ok c, Ok pl -> Ok { pl with stmts = [ Ir.If (c, pl.stmts, []) ] }
+     | Error e, _ | _, Error e -> Error e)
+  | Lf.Pred (p, [ a; b ]) when p = Lf.p_and || p = Lf.p_seq ->
+    (match gen_sentence ctx a, gen_sentence ctx b with
+     | Ok pa, Ok pb ->
+       Ok
+         {
+           stmts = pa.stmts @ pb.stmts;
+           advice = pa.advice @ pb.advice;
+           target =
+             (match pa.target with Some t -> Some t | None -> pb.target);
+         }
+     | Error e, _ | _, Error e -> Error e)
+  | Lf.Pred (p, [ body ]) when p = Lf.p_may || p = Lf.p_must ->
+    (* Modal obligations/permissions compile to the plain behavior; the
+       under-specification of "may" (who may?) is exactly what unit
+       testing surfaces (paper §6.5 "Under-specified behavior"). *)
+    gen_sentence ctx body
+  | Lf.Pred (p, [ body ]) when p = Lf.p_not ->
+    (match gen_sentence ctx body with
+     | Ok { stmts = [ Ir.Do e ]; advice; target } ->
+       Ok { stmts = [ Ir.Do (Ir.Not e) ]; advice; target }
+     | Ok { stmts; advice; target }
+       when List.exists (function Ir.Send _ -> true | _ -> false) stmts ->
+       (* "MUST NOT send": suppress the transmission — in a transmit
+          procedure that is an early abort *)
+       Ok { stmts = [ Ir.Discard ]; advice; target }
+     | Ok _ -> Error "cannot negate a non-call statement"
+     | Error e -> Error e)
+  | Lf.Pred (p, Lf.Str fname :: args) when p = Lf.p_action ->
+    gen_action ctx fname args
+  | Lf.Pred (p, [ _subj; obj; dest ]) when p = Lf.p_send -> gen_send ctx obj dest
+  | Lf.Pred (p, [ x ]) when p = Lf.p_discard ->
+    ignore x;
+    ok_stmts [ Ir.Discard ]
+  | Lf.Pred (p, [ obj; key ]) when p = Lf.p_select ->
+    ignore obj;
+    Result.bind (expr_of_lf ctx key) (fun ek ->
+        ok_stmts [ Ir.Do (Ir.Call ("select_session", [ ek ])) ])
+  | Lf.Pred (p, [ x ]) when p = Lf.p_call ->
+    (match term_text x with
+     | Some t ->
+       (match Context.resolve ctx t with
+        | Some (Context.Framework_fn f) -> ok_stmts [ Ir.Do (Ir.Call (f, [])) ]
+        | _ -> Error (Printf.sprintf "cannot call %S" t))
+     | None -> Error "non-term call target")
+  | Lf.Pred (p, [ context_ev; body ]) when p = Lf.p_adv_before ->
+    (* "For computing the checksum, <body>" *)
+    let field =
+      match context_ev with
+      | Lf.Pred (q, [ x ]) when q = Lf.p_compute ->
+        (match term_text x with Some t -> Some t | None -> None)
+      | _ -> None
+    in
+    (match field with
+     | None -> Error "advice context is not a computation"
+     | Some f ->
+       (match gen_sentence ctx body with
+        | Ok pl ->
+          Ok
+            {
+              stmts = [];
+              advice = [ { before_field = f; adv_stmts = pl.stmts } ] @ pl.advice;
+              target = pl.target;
+            }
+        | Error e -> Error e))
+  | Lf.Pred (p, _) when p = Lf.p_adv_comment ->
+    ok_stmts []
+  | Lf.Pred ("@Goal", [ goal; body ]) ->
+    let target =
+      List.find_map
+        (fun leaf ->
+          match term_text leaf with
+          | None -> None
+          | Some t ->
+            (match Context.resolve ctx t with
+             | Some (Context.Message m) -> Some m
+             | _ -> None))
+        (Lf.leaves goal)
+    in
+    (match target with
+     | None -> Error "goal clause names no message"
+     | Some m ->
+       let role =
+         if mentions_reply (Some m) then Ir.Receiver
+         else Option.value ~default:Ir.Sender ctx.Context.role
+       in
+       let ctx = { ctx with Context.role = Some role } in
+       (match gen_sentence ctx body with
+        | Ok pl -> Ok { pl with target = Some m }
+        | Error e -> Error e))
+  | Lf.Pred ("@Otherwise", [ body ]) -> gen_sentence ctx body
+  | Lf.Pred ("@CopyFrom", [ dst; src ]) ->
+    (match lvalue_of_lf ctx dst, expr_of_lf ctx src with
+     | Ok lv, Ok e -> ok_stmts [ Ir.Assign (lv, e) ]
+     | Error e, _ | _, Error e -> Error e)
+  | Lf.Pred ("@CopyTo", [ src; dst ]) ->
+    (match lvalue_of_lf ctx dst, expr_of_lf ctx src with
+     | Ok lv, Ok e -> ok_stmts [ Ir.Assign (lv, e) ]
+     | Error e, _ | _, Error e -> Error e)
+  | Lf.Pred ("@Encapsulate", [ what; inside ]) ->
+    ignore what;
+    ignore inside;
+    (* NTP: "encapsulated in a UDP datagram" — well-known port 123 *)
+    ok_stmts [ Ir.Do (Ir.Call ("encapsulate_udp", [ Ir.Int 123 ])) ]
+  | Lf.Pred (p, _) when p = Lf.p_cmp ->
+    (* a bare comparison as a sentence: a validity assertion *)
+    Result.bind (expr_of_lf ctx lf) (fun e ->
+        ok_stmts [ Ir.If (Ir.Not e, [ Ir.Discard ], []) ])
+  | _ ->
+    Error
+      (Printf.sprintf "no statement handler for %s"
+         (match Lf.head lf with Some h -> h | None -> Lf.to_string lf))
+
+and gen_assign ctx lhs rhs =
+  (* checksum fields get their computation-call; other fields a plain
+     assignment.  Direction: if the lhs chain is request-side and the rhs
+     chain reply-side, the future field is the target ("the address of
+     the source in an echo message will be the destination of the echo
+     reply message"). *)
+  let lhs_chain = flatten_chain lhs and rhs_chain = flatten_chain rhs in
+  let lhs_msg = specific_message ctx (chain_message ctx lhs_chain)
+  and rhs_msg = specific_message ctx (chain_message ctx rhs_chain) in
+  let flipped =
+    (match ctx.Context.role with Some Ir.Receiver -> true | _ -> false)
+    && (not (mentions_reply lhs_msg))
+    && lhs_msg <> None
+    && mentions_reply rhs_msg
+  in
+  let target_lf, value_lf = if flipped then (rhs, lhs) else (lhs, rhs) in
+  match lvalue_of_lf ctx target_lf with
+  | Error e -> Error e
+  | Ok lv ->
+    (match expr_of_lf ctx value_lf with
+     | Error e -> Error e
+     | Ok e ->
+       let value_msg =
+         specific_message ctx (chain_message ctx (flatten_chain value_lf))
+       in
+       let e =
+         if flipped then to_request e
+         else
+           match ctx.Context.role with
+           | Some Ir.Receiver when value_msg <> None && not (mentions_reply value_msg)
+             -> to_request e
+           | _ -> e
+       in
+       (* a message-qualified field scopes the sentence to that message's
+          function ("the identifier in the echo message may be zero") *)
+       let target =
+         if flipped then rhs_msg
+         else match lhs_msg with Some m -> Some m | None -> rhs_msg
+       in
+       Ok { stmts = [ Ir.Assign (lv, e) ]; advice = []; target })
+
+and gen_action ctx fname args =
+  match fname, args with
+  | ("reverse" | "swap"), [ x ] when is_swap_target ctx x ->
+    ok_stmts [ Ir.Do (Ir.Call ("swap_ip_addresses", [])) ]
+  | ("reverse" | "swap"), [ a; b ] ->
+    (match expr_of_lf ctx a, expr_of_lf ctx b with
+     | Ok (Ir.Field (la, fa)), Ok (Ir.Field (lb, fb)) ->
+       ok_stmts
+         [ Ir.Do (Ir.Call ("swap_fields",
+                           [ Ir.Field (la, fa); Ir.Field (lb, fb) ])) ]
+     | Ok _, Ok _ -> Error "swap of non-fields"
+     | Error e, _ | _, Error e -> Error e)
+  | "recompute", [ x ] | "compute", [ x ] ->
+    (match lvalue_of_lf ctx x with
+     | Ok (Ir.Lfield (l, f)) ->
+       ok_stmts [ Ir.Assign (Ir.Lfield (l, f), Ir.Call ("recompute_" ^ f, [])) ]
+     | Ok (Ir.Lvar _) -> Error "recompute of a variable"
+     | Error e -> Error e)
+  | "increment", [ x ] ->
+    (match lvalue_of_lf ctx x, expr_of_lf ctx x with
+     | Ok lv, Ok e ->
+       ok_stmts [ Ir.Assign (lv, Ir.Call ("add", [ e; Ir.Int 1 ])) ]
+     | Error e, _ | _, Error e -> Error e)
+  | "decrement", [ x ] ->
+    (match lvalue_of_lf ctx x, expr_of_lf ctx x with
+     | Ok lv, Ok e ->
+       ok_stmts [ Ir.Assign (lv, Ir.Call ("sub", [ e; Ir.Int 1 ])) ]
+     | Error e, _ | _, Error e -> Error e)
+  | ("echo" | "return"), [ x ] ->
+    (* "the data is echoed/returned": copy from the request *)
+    (match lvalue_of_lf ctx x with
+     | Ok (Ir.Lfield (l, f)) ->
+       ok_stmts [ Ir.Assign (Ir.Lfield (l, f), Ir.Request_field (l, f)) ]
+     | Ok (Ir.Lvar _) -> Error "echo of a variable"
+     | Error e -> Error e)
+  | "cease", [ _subj; obj ] ->
+    (match expr_of_lf ctx obj with
+     | Ok (Ir.Field (Ir.State, v)) ->
+       ok_stmts [ Ir.Assign (Ir.Lfield (Ir.State, v), Ir.Int 0) ]
+     | Ok _ -> Error "cease of a non-state entity"
+     | Error e -> Error e)
+  | ("send" | "transmit"), [ x ] ->
+    (match term_text x with
+     | Some m -> ok_stmts [ Ir.Send m ]
+     | None -> ok_stmts [ Ir.Send "message" ])
+  | "discard", _ -> ok_stmts [ Ir.Discard ]
+  | "identify", [ subj; obj ] ->
+    (* "the pointer identifies the octet where an error was detected":
+       the field takes the identified value *)
+    (match lvalue_of_lf ctx subj, expr_of_lf ctx obj with
+     | Ok lv, Ok e -> ok_stmts [ Ir.Assign (lv, e) ]
+     | Error e, _ | _, Error e -> Error e)
+  | ("identify" | "aid" | "match" | "detect" | "find" | "receive" | "form"
+    | "forward" | "join" | "leave" | "query" | "ignore" | "delay" | "count"
+    | "initiate" | "terminate" | "replace" | "expire"), _ ->
+    (* descriptive actions: no executable counterpart — a code-generation
+       failure that iterative discovery will tag non-actionable *)
+    Error (Printf.sprintf "action %S is descriptive, not executable" fname)
+  | _, _ -> Error (Printf.sprintf "no handler for action %S" fname)
+
+and gen_send ctx obj dest =
+  let dest_chain = flatten_chain dest in
+  let dest_msg = chain_message ctx dest_chain in
+  if mentions_reply dest_msg then
+    (* "X is returned in the <reply> message": copy X from the request
+       into the reply under construction *)
+    let place stmts = Ok { stmts; advice = []; target = dest_msg } in
+    match lvalue_of_lf ctx obj with
+    | Ok (Ir.Lfield (l, f)) ->
+      place [ Ir.Assign (Ir.Lfield (l, f), Ir.Request_field (l, f)) ]
+    | Ok (Ir.Lvar _) -> Error "cannot copy into a variable"
+    | Error _ ->
+      (* the object may be an env excerpt (e.g. original datagram) *)
+      (match expr_of_lf ctx obj with
+       | Ok e -> place [ Ir.Assign (Ir.Lfield (Ir.Proto, "data"), e) ]
+       | Error e -> Error e)
+  else
+    (* a genuine transmission: "the gateway sends a <message> to the
+       source host" / "the query is sent to the all-hosts group" — set
+       the IP destination when the destination resolves, then emit *)
+    let message_name =
+      match term_text obj with
+      | Some m -> Some m
+      | None -> List.find_map term_text (flatten_chain obj).parts
+    in
+    match message_name with
+    | None -> Error "send of an unnamed message"
+    | Some m ->
+      let dest_stmts =
+        match expr_of_lf ctx dest with
+        | Ok (Ir.Param _ as e) | Ok (Ir.Field (Ir.Ip, _) as e)
+        | Ok (Ir.Request_field (Ir.Ip, _) as e) ->
+          [ Ir.Assign (Ir.Lfield (Ir.Ip, "dst"), e) ]
+        | Ok _ | Error _ -> []
+      in
+      (* sending a named message scopes the code to that message's
+         function *)
+      Ok
+        {
+          stmts = dest_stmts @ [ Ir.Send m ];
+          advice = [];
+          target = specific_message ctx (Some m);
+        }

@@ -1,0 +1,70 @@
+(** The imperative intermediate representation emitted by the code
+    generator (paper §5).
+
+    Logical forms are functional; executable protocol code is imperative.
+    The generator lowers each LF to statements over this IR, which has two
+    consumers: the C pretty-printer ({!C_printer}, producing code like
+    Table 4's [hdr->type = 3;]) and the interpreter ({!Sage_interp}),
+    which executes the same IR against byte-accurate packet layouts so
+    the generated protocol can be tested for interoperation. *)
+
+type layer =
+  | Proto        (** the protocol's own header (e.g. ICMP) *)
+  | Ip           (** the IP header beneath (static-framework access) *)
+  | State        (** protocol state variables (BFD/NTP sessions) *)
+
+type expr =
+  | Int of int
+  | Str of string
+      (** a string argument to a framework call (e.g. a field name the
+          framework resolves at run time) *)
+  | Field of layer * string
+      (** read a header field / state variable of the {e outgoing} message
+          (or the session) *)
+  | Request_field of layer * string
+      (** read a field of the {e received} message (receiver role) *)
+  | Param of string
+      (** an environment-supplied value (e.g. the redirect gateway
+          address, the local clock) resolved by the static framework *)
+  | Call of string * expr list
+      (** invoke a static-framework function, e.g.
+          [Call ("icmp_checksum", [...])] *)
+  | Not of expr
+  | Cmp of string * expr * expr  (** "eq" | "ne" | "gt" | "ge" | "lt" | "le" *)
+  | And of expr * expr
+  | Or of expr * expr
+
+type lvalue =
+  | Lfield of layer * string
+  | Lvar of string
+
+type stmt =
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | Do of expr                     (** call for effect *)
+  | Discard                        (** drop the packet, stop *)
+  | Send of string                 (** emit the message under construction *)
+  | Comment of string              (** non-actionable text carried along *)
+
+type role = Sender | Receiver
+
+type func = {
+  fn_name : string;      (** unique: protocol, message, role (§5.2) *)
+  protocol : string;
+  message : string;
+  role : role;
+  body : stmt list;
+}
+
+val role_name : role -> string
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_func : Format.formatter -> func -> unit
+
+val equal_expr : expr -> expr -> bool
+val equal_stmt : stmt -> stmt -> bool
+
+val assigned_fields : stmt list -> (layer * string) list
+(** All header fields written by the statements, in order, duplicates
+    removed (used by the assembler's ordering pass and by tests). *)

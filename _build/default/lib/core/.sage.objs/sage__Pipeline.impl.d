@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Fun List Option Sage_ccg Sage_codegen Sage_corpus Sage_disambig Sage_logic Sage_nlp Sage_rfc String

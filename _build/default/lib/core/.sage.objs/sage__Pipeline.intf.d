@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Sage_ccg Sage_codegen Sage_disambig Sage_logic Sage_nlp Sage_rfc

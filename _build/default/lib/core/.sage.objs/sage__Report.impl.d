@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer List Pipeline Printf Sage_codegen Sage_logic Sage_rfc

@@ -1,0 +1,460 @@
+module Lf = Sage_logic.Lf
+module Chunker = Sage_nlp.Chunker
+module Dict = Sage_nlp.Term_dictionary
+module Document = Sage_rfc.Document
+module Hd = Sage_rfc.Header_diagram
+module Winnow = Sage_disambig.Winnow
+module Checks = Sage_disambig.Checks
+module Ir = Sage_codegen.Ir
+module Context = Sage_codegen.Context
+module Generate = Sage_codegen.Generate
+module Assemble = Sage_codegen.Assemble
+
+type spec = {
+  protocol : string;
+  lexicon : Sage_ccg.Lexicon.t;
+  dictionary : Dict.t;
+  extra_checks : Checks.check list;
+  annotated_non_actionable : string list;
+}
+
+let icmp_spec () =
+  {
+    protocol = "ICMP";
+    lexicon = Sage_ccg.Lexicon.icmp ();
+    dictionary =
+      Dict.extend (Dict.base ()) Sage_corpus.Icmp_rfc.dictionary_extension;
+    extra_checks = [];
+    annotated_non_actionable = Sage_corpus.Icmp_rfc.annotated_non_actionable;
+  }
+
+let igmp_spec () =
+  {
+    protocol = "IGMP";
+    lexicon = Sage_ccg.Lexicon.igmp ();
+    dictionary =
+      Dict.extend (Dict.base ())
+        (Sage_corpus.Icmp_rfc.dictionary_extension
+        @ Sage_corpus.Igmp_rfc.dictionary_extension);
+    extra_checks = [];
+    annotated_non_actionable = Sage_corpus.Igmp_rfc.annotated_non_actionable;
+  }
+
+let ntp_spec () =
+  {
+    protocol = "NTP";
+    lexicon = Sage_ccg.Lexicon.ntp ();
+    dictionary =
+      Dict.extend (Dict.base ())
+        (Sage_corpus.Icmp_rfc.dictionary_extension
+        @ Sage_corpus.Igmp_rfc.dictionary_extension
+        @ Sage_corpus.Ntp_rfc.dictionary_extension);
+    extra_checks = [];
+    annotated_non_actionable = Sage_corpus.Ntp_rfc.annotated_non_actionable;
+  }
+
+let tcp_spec () =
+  {
+    protocol = "TCP";
+    lexicon = Sage_ccg.Lexicon.bfd ();
+    dictionary =
+      Dict.extend (Dict.base ()) Sage_corpus.Tcp_rfc.dictionary_extension;
+    extra_checks = [];
+    annotated_non_actionable = Sage_corpus.Tcp_rfc.annotated_non_actionable;
+  }
+
+let bgp_spec () =
+  {
+    protocol = "BGP";
+    lexicon = Sage_ccg.Lexicon.bgp ();
+    dictionary =
+      Dict.extend (Dict.base ()) Sage_corpus.Bgp_rfc.dictionary_extension;
+    extra_checks = [];
+    annotated_non_actionable = Sage_corpus.Bgp_rfc.annotated_non_actionable;
+  }
+
+let bfd_spec () =
+  {
+    protocol = "BFD";
+    lexicon = Sage_ccg.Lexicon.bfd ();
+    dictionary =
+      Dict.extend
+        (Dict.extend (Dict.base ()) Sage_nlp.Term_dictionary.bfd_state_variables)
+        Sage_corpus.Bfd_rfc.dictionary_extension;
+    extra_checks = [];
+    annotated_non_actionable = Sage_corpus.Bfd_rfc.annotated_non_actionable;
+  }
+
+type status =
+  | Annotated_non_actionable
+  | Zero_lf
+  | Ambiguous of Lf.t list
+  | Parsed of Lf.t
+  | Subject_supplied of Lf.t
+
+type sentence_report = {
+  sentence : string;
+  message : string option;
+  field : string option;
+  base_lf_count : int;
+  trace : Winnow.trace option;
+  status : status;
+}
+
+type codegen_report = {
+  functions : Ir.func list;
+  structs : Hd.t list;
+  struct_of_function : (string * Hd.t) list;
+  non_actionable : (string * string) list;
+  c_code : string;
+}
+
+type run = {
+  spec : spec;
+  document : Document.t;
+  sentences : sentence_report list;
+  codegen : codegen_report;
+}
+
+let prefix_matches sentence prefix =
+  let norm s =
+    String.concat " " (List.filter (fun w -> w <> "") (String.split_on_char ' ' s))
+  in
+  let s = norm sentence and p = norm prefix in
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* A synthetic NP chunk used when supplying the missing subject. *)
+let subject_chunk field =
+  {
+    Chunker.text = field;
+    is_np = true;
+    tokens = [ Sage_nlp.Token.v Sage_nlp.Token.Word field ];
+  }
+
+let copula_chunk =
+  {
+    Chunker.text = "is";
+    is_np = false;
+    tokens = [ Sage_nlp.Token.v Sage_nlp.Token.Word "is" ];
+  }
+
+let drop_terminator chunks =
+  match List.rev chunks with
+  | { Chunker.tokens = [ t ]; _ } :: rest
+    when t.Sage_nlp.Token.kind = Sage_nlp.Token.Terminator ->
+    List.rev rest
+  | _ -> chunks
+
+let analyze_sentence spec ?message ?field ?struct_def ?strategy sentence =
+  let annotated =
+    List.exists (prefix_matches sentence) spec.annotated_non_actionable
+  in
+  if annotated then
+    {
+      sentence;
+      message;
+      field;
+      base_lf_count = 0;
+      trace = None;
+      status = Annotated_non_actionable;
+    }
+  else begin
+    ignore struct_def;
+    let parse chunks =
+      Sage_ccg.Parser.parse_chunks ~lexicon:spec.lexicon chunks
+    in
+    let chunks =
+      drop_terminator
+        (Chunker.chunk_sentence ?strategy ~dict:spec.dictionary sentence)
+    in
+    let result = parse chunks in
+    let winnowed lfs = Winnow.winnow ~extra_checks:spec.extra_checks lfs in
+    let finish ~supplied base_count tr =
+      match tr.Winnow.survivors with
+      | [ lf ] ->
+        {
+          sentence;
+          message;
+          field;
+          base_lf_count = base_count;
+          trace = Some tr;
+          status = (if supplied then Subject_supplied lf else Parsed lf);
+        }
+      | [] ->
+        { sentence; message; field; base_lf_count = base_count;
+          trace = Some tr; status = Zero_lf }
+      | many ->
+        { sentence; message; field; base_lf_count = base_count;
+          trace = Some tr; status = Ambiguous many }
+    in
+    if result.Sage_ccg.Parser.lfs <> [] then
+      finish ~supplied:false
+        (List.length result.Sage_ccg.Parser.lfs)
+        (winnowed result.Sage_ccg.Parser.lfs)
+    else begin
+      (* zero logical forms: if this is a field description, re-parse with
+         the field supplied as the subject (paper §4.1) *)
+      match field with
+      | None ->
+        { sentence; message; field; base_lf_count = 0; trace = None;
+          status = Zero_lf }
+      | Some fname ->
+        let attempts =
+          [
+            (* "<field> is <fragment>" for noun-phrase fragments *)
+            subject_chunk fname :: copula_chunk :: chunks;
+            (* "If ..., <field> <verb phrase>" — insert after the comma *)
+            (let rec insert_after_comma = function
+               | [] -> [ subject_chunk fname ]
+               | ({ Chunker.tokens = [ t ]; _ } as c) :: rest
+                 when t.Sage_nlp.Token.text = "," ->
+                 c :: subject_chunk fname :: rest
+               | c :: rest -> c :: insert_after_comma rest
+             in
+             insert_after_comma chunks);
+            (* bare prepend without copula *)
+            subject_chunk fname :: chunks;
+          ]
+        in
+        let rec try_attempts = function
+          | [] ->
+            { sentence; message; field; base_lf_count = 0; trace = None;
+              status = Zero_lf }
+          | attempt :: rest ->
+            let r = parse attempt in
+            if r.Sage_ccg.Parser.lfs = [] then try_attempts rest
+            else
+              let tr = winnowed r.Sage_ccg.Parser.lfs in
+              (match tr.Winnow.survivors with
+               | [ _ ] ->
+                 finish ~supplied:true (List.length r.Sage_ccg.Parser.lfs) tr
+               | _ -> try_attempts rest)
+        in
+        try_attempts attempts
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Variants: one generated function per message form.                  *)
+(* ------------------------------------------------------------------ *)
+
+let variants_of_section (section : Document.section) =
+  let name = section.Document.message_name in
+  (* "Echo or Echo Reply Message" -> two variants *)
+  let split =
+    (* split on " or " case-insensitively *)
+    let lower = String.lowercase_ascii name in
+    match
+      let rec find i =
+        if i + 4 > String.length lower then None
+        else if String.sub lower i 4 = " or " then Some i
+        else find (i + 1)
+      in
+      find 0
+    with
+    | Some i ->
+      [ String.sub name 0 i;
+        String.sub name (i + 4) (String.length name - i - 4) ]
+    | None -> [ name ]
+  in
+  let with_message_suffix n =
+    let ln = String.lowercase_ascii n in
+    if
+      String.length ln >= 7
+      && String.sub ln (String.length ln - 7) 7 = "message"
+    then n
+    else n ^ " Message"
+  in
+  List.map
+    (fun n ->
+      let full = with_message_suffix (String.trim n) in
+      let role =
+        let l = String.lowercase_ascii full in
+        let rec contains i =
+          i + 5 <= String.length l && (String.sub l i 5 = "reply" || contains (i + 1))
+        in
+        if contains 0 then Ir.Receiver else Ir.Sender
+      in
+      (full, role))
+    split
+
+let fixed_assignments_for_variant (section : Document.section) variant_name =
+  List.concat_map
+    (fun (fd : Document.field_desc) ->
+      let ident = Hd.c_identifier fd.Document.field_name in
+      List.concat_map
+        (function
+          | Document.Fixed_value v -> [ (ident, v) ]
+          | Document.Code_values cvs ->
+            List.filter_map
+              (fun (cv : Document.code_value) ->
+                if
+                  Assemble.message_matches ~target:cv.Document.meaning
+                    ~variant:variant_name
+                then Some (ident, cv.Document.value)
+                else None)
+              cvs
+          | Document.Prose _ | Document.Pseudo _ -> [])
+        fd.Document.content)
+    section.Document.fields
+
+let run spec ~title ~text =
+  let document = Document.parse ~title text in
+  let all_reports = ref [] in
+  let non_actionable = ref [] in
+  let functions = ref [] in
+  let struct_of_function = ref [] in
+  let structs =
+    List.filter_map (fun s -> s.Document.diagram) document.Document.sections
+  in
+  let last_diagram = ref None in
+  List.iter
+    (fun (section : Document.section) ->
+      (* sections without their own diagram (e.g. BFD §6.8.6) refer to the
+         most recent packet format in the document *)
+      let struct_def =
+        match section.Document.diagram with
+        | Some d ->
+          last_diagram := Some d;
+          Some d
+        | None -> !last_diagram
+      in
+      let msg = section.Document.message_name in
+      let variants = variants_of_section section in
+      let section_has_reply =
+        List.exists (fun (_, r) -> r = Ir.Receiver) variants
+      in
+      let gen_role = if section_has_reply then Ir.Receiver else Ir.Sender in
+      let items = ref [] in
+      let handle_sentence ?field sentence =
+        let report =
+          analyze_sentence spec ~message:msg ?field
+            ?struct_def:(Option.map Fun.id struct_def) sentence
+        in
+        all_reports := report :: !all_reports;
+        let ctx =
+          Context.dynamic ?field ~role:gen_role
+            ?struct_def:(Option.map Fun.id struct_def) ~protocol:spec.protocol
+            ~message:msg ()
+        in
+        let placement =
+          match report.status with
+          | Parsed lf | Subject_supplied lf ->
+            (match Generate.gen_sentence ctx lf with
+             | Ok pl -> Some pl
+             | Error reason ->
+               (* iterative discovery: code-generation failure → confirm
+                  non-actionable, tag @AdvComment *)
+               non_actionable := (sentence, reason) :: !non_actionable;
+               None)
+          | Annotated_non_actionable | Zero_lf | Ambiguous _ -> None
+        in
+        items := { Assemble.sentence; placement } :: !items
+      in
+      (* pseudo-code blocks become standalone procedures (paper §3) *)
+      let handle_pseudo block =
+        match Sage_rfc.Pseudo_code.parse block with
+        | Error reason -> non_actionable := (block, reason) :: !non_actionable
+        | Ok proc ->
+          let ctx =
+            Context.dynamic ~role:Ir.Sender
+              ?struct_def:(Option.map Fun.id struct_def)
+              ~protocol:spec.protocol ~message:msg ()
+          in
+          let stmts =
+            List.concat_map
+              (fun lf ->
+                match Generate.gen_sentence ctx lf with
+                | Ok pl -> pl.Generate.stmts
+                | Error reason ->
+                  non_actionable := (Lf.to_string lf, reason) :: !non_actionable;
+                  [])
+              proc.Sage_rfc.Pseudo_code.body
+          in
+          let f =
+            {
+              Ir.fn_name =
+                Hd.c_identifier
+                  (String.lowercase_ascii spec.protocol ^ " "
+                 ^ proc.Sage_rfc.Pseudo_code.proc_name);
+              protocol = spec.protocol;
+              message = proc.Sage_rfc.Pseudo_code.proc_name;
+              role = Ir.Sender;
+              body = stmts;
+            }
+          in
+          functions := !functions @ [ f ];
+          (match struct_def with
+           | Some sd -> struct_of_function := (f.Ir.fn_name, sd) :: !struct_of_function
+           | None -> ())
+      in
+      List.iter
+        (fun (fd : Document.field_desc) ->
+          List.iter
+            (function
+              | Document.Prose sentences ->
+                List.iter
+                  (handle_sentence ~field:fd.Document.field_name)
+                  sentences
+              | Document.Pseudo block -> handle_pseudo block
+              | Document.Fixed_value _ | Document.Code_values _ -> ())
+            fd.Document.content)
+        (section.Document.fields @ section.Document.ip_fields);
+      List.iter (fun s -> handle_sentence s) section.Document.description;
+      let assembled =
+        Assemble.assemble ~protocol:spec.protocol
+          ~variants:
+            (List.map
+               (fun (vname, role) ->
+                 {
+                   Assemble.variant_message = vname;
+                   variant_role = role;
+                   fixed_assignments = fixed_assignments_for_variant section vname;
+                 })
+               variants)
+          ~items:(List.rev !items)
+      in
+      (match struct_def with
+       | Some sd ->
+         List.iter
+           (fun (f : Ir.func) ->
+             struct_of_function := (f.Ir.fn_name, sd) :: !struct_of_function)
+           assembled
+       | None -> ());
+      functions := !functions @ assembled)
+    document.Document.sections;
+  let functions = !functions in
+  let c_code =
+    Sage_codegen.C_printer.render_program ~protocol:spec.protocol ~structs
+      ~funcs:functions
+  in
+  {
+    spec;
+    document;
+    sentences = List.rev !all_reports;
+    codegen =
+      {
+        functions;
+        structs;
+        struct_of_function = List.rev !struct_of_function;
+        non_actionable = List.rev !non_actionable;
+        c_code;
+      };
+  }
+
+let ambiguous_sentences run =
+  List.filter
+    (fun r -> match r.status with Ambiguous _ -> true | _ -> false)
+    run.sentences
+
+let zero_lf_sentences run =
+  List.filter (fun r -> r.status = Zero_lf) run.sentences
+
+let parsed_sentences run =
+  List.filter
+    (fun r ->
+      match r.status with Parsed _ | Subject_supplied _ -> true | _ -> false)
+    run.sentences
+
+let find_function run name =
+  List.find_opt (fun f -> f.Ir.fn_name = name) run.codegen.functions

@@ -1,0 +1,91 @@
+(** The SAGE pipeline (paper Figure 1): RFC text → pre-processing →
+    semantic parsing → disambiguation → code generation, with the paper's
+    two human-in-the-loop feedback points — rewriting truly ambiguous
+    sentences (Figure 4) and confirming non-actionable sentences (§5.2).
+
+    A {!run} captures everything the evaluation needs: per-sentence parse
+    and winnow traces (Figures 5/6, Tables 6/8), the generated functions
+    and structs (§6.2), and the discovered non-actionable sentences. *)
+
+type spec = {
+  protocol : string;
+  lexicon : Sage_ccg.Lexicon.t;
+  dictionary : Sage_nlp.Term_dictionary.t;
+  extra_checks : Sage_disambig.Checks.check list;
+  annotated_non_actionable : string list;
+      (** sentence prefixes a human marked non-actionable *)
+}
+
+val icmp_spec : unit -> spec
+val igmp_spec : unit -> spec
+val ntp_spec : unit -> spec
+val bfd_spec : unit -> spec
+
+val bgp_spec : unit -> spec
+(** The second §7 teaser: BGP's OPEN header and FSM prose ("the state is
+    changed to Connect") parse with modest lexicon extensions. *)
+
+val tcp_spec : unit -> spec
+(** The §7 extension teaser: TCP's header format and simple constraints
+    parse with the BFD-level lexicon; the state-machine prose measures
+    what "complex state management" support still requires. *)
+
+type status =
+  | Annotated_non_actionable
+      (** human-annotated before the run; tagged @AdvComment *)
+  | Zero_lf
+      (** no parse, even after supplying the field as subject — needs a
+          human rewrite *)
+  | Ambiguous of Sage_logic.Lf.t list
+      (** more than one LF survives winnowing — needs a human rewrite *)
+  | Parsed of Sage_logic.Lf.t
+  | Subject_supplied of Sage_logic.Lf.t
+      (** parsed only after the pre-processor supplied the field name as
+          the missing subject (paper §4.1) *)
+
+type sentence_report = {
+  sentence : string;
+  message : string option;
+  field : string option;
+  base_lf_count : int;        (** LFs before winnowing *)
+  trace : Sage_disambig.Winnow.trace option;
+  status : status;
+}
+
+type codegen_report = {
+  functions : Sage_codegen.Ir.func list;
+  structs : Sage_rfc.Header_diagram.t list;
+  struct_of_function : (string * Sage_rfc.Header_diagram.t) list;
+      (** generated function name → the header layout it operates on *)
+  non_actionable : (string * string) list;
+      (** (sentence, codegen failure reason) — discovered iteratively *)
+  c_code : string;
+}
+
+type run = {
+  spec : spec;
+  document : Sage_rfc.Document.t;
+  sentences : sentence_report list;
+  codegen : codegen_report;
+}
+
+val analyze_sentence :
+  spec ->
+  ?message:string ->
+  ?field:string ->
+  ?struct_def:Sage_rfc.Header_diagram.t ->
+  ?strategy:Sage_nlp.Chunker.strategy ->
+  string ->
+  sentence_report
+(** Parse and winnow one sentence (with subject-supply retry for field
+    descriptions). *)
+
+val run : spec -> title:string -> text:string -> run
+(** The full pipeline over an RFC document. *)
+
+val ambiguous_sentences : run -> sentence_report list
+val zero_lf_sentences : run -> sentence_report list
+val parsed_sentences : run -> sentence_report list
+
+val find_function : run -> string -> Sage_codegen.Ir.func option
+(** Look up a generated function by name. *)

@@ -1,0 +1,1 @@
+lib/corpus/bfd_rfc.ml: String

@@ -1,0 +1,1 @@
+lib/corpus/bgp_rfc.ml: List String

@@ -1,0 +1,1 @@
+lib/corpus/components.ml: List

@@ -1,0 +1,1 @@
+lib/corpus/icmp_rfc.ml: Printf String

@@ -1,0 +1,1 @@
+lib/corpus/igmp_rfc.ml: String

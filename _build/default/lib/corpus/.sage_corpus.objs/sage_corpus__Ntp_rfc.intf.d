@@ -1,0 +1,1 @@
+lib/corpus/ntp_rfc.mli:

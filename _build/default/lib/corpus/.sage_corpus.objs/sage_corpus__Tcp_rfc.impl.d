@@ -1,0 +1,1 @@
+lib/corpus/tcp_rfc.ml: List String

@@ -1,0 +1,73 @@
+let title = "A BORDER GATEWAY PROTOCOL 4 (RFC 4271), OPEN message and FSM excerpt"
+
+let dictionary_extension =
+  [
+    "bgp message"; "open message"; "notification message";
+    "keepalive message"; "update message";
+    "bgp identifier"; "my autonomous system"; "hold time"; "hold timer";
+    "version number";
+    "optional parameters length"; "marker";
+    "manualstart event"; "manualstop event"; "holdtimer";
+    "connectretrytimer"; "connectretrycounter";
+    "bgp resources"; "tcp connection";
+    "Idle"; "Connect"; "Active"; "OpenSent"; "OpenConfirm"; "Established";
+  ]
+
+let diagram =
+  "    0                   1                   2                   3\n\
+  \    0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |    Version    |     My Autonomous System      |   Hold Time   |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |   Hold Time   |                BGP Identifier                 |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |BGP Identifier |  Opt Parm Len |     Optional Parameters ...\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-"
+
+let fsm_sentences =
+  [
+    "If the ManualStart event occurs, the state is changed to Connect.";
+    "If the ManualStop event occurs, the local system sends a notification \
+     message and the state is changed to Idle.";
+    (* state-specific rules precede the catch-all, as in RFC 4271's
+       per-state event lists *)
+    "If the state is Established and the HoldTimer expires, the \
+     ConnectRetryCounter is incremented.";
+    "If the HoldTimer expires, the local system sends a notification \
+     message and the state is changed to Idle.";
+    "If the version number is not 4, the open message MUST be discarded.";
+    "If the hold time is 1, the open message MUST be discarded.";
+  ]
+
+let text =
+  String.concat "\n"
+    ([
+       "BGP OPEN Message";
+       "";
+       diagram;
+       "";
+       "   Fields:";
+       "";
+       "   Version";
+       "";
+       "      4";
+       "";
+       "   Hold Time";
+       "";
+       "      90";
+       "";
+       "   Opt Parm Len";
+       "";
+       "      0";
+       "";
+       "   BGP Identifier";
+       "";
+       "      The bgp identifier is the interface address.";
+       "";
+       "   Description";
+       "";
+     ]
+    @ List.map (fun s -> "      " ^ s) fsm_sentences
+    @ [ "" ])
+
+let annotated_non_actionable = []

@@ -1,0 +1,123 @@
+type support = Full | Partial | None_
+
+type conceptual =
+  | Packet_format
+  | Interoperation
+  | Pseudo_code
+  | State_session_management
+  | Communication_patterns
+  | Architecture
+
+type syntactic =
+  | Header_diagram
+  | Listing
+  | Table
+  | Algorithm_description
+  | Other_figures
+  | Sequence_diagram
+  | State_machine_diagram
+
+let rfcs =
+  [ "ICMP"; "IGMP"; "NTP"; "BFD"; "TCP"; "BGP"; "OSPF"; "RTP"; "SIP" ]
+
+let conceptual_components =
+  [
+    Packet_format; Interoperation; Pseudo_code; State_session_management;
+    Communication_patterns; Architecture;
+  ]
+
+let syntactic_components =
+  [
+    Header_diagram; Listing; Table; Algorithm_description; Other_figures;
+    Sequence_diagram; State_machine_diagram;
+  ]
+
+let conceptual_name = function
+  | Packet_format -> "Packet Format"
+  | Interoperation -> "Interoperation"
+  | Pseudo_code -> "Pseudo Code"
+  | State_session_management -> "State/Session Mngmt."
+  | Communication_patterns -> "Comm. Patterns"
+  | Architecture -> "Architecture"
+
+let syntactic_name = function
+  | Header_diagram -> "Header Diagram"
+  | Listing -> "Listing"
+  | Table -> "Table"
+  | Algorithm_description -> "Algorithm Description"
+  | Other_figures -> "Other Figures"
+  | Sequence_diagram -> "Seq./Comm. Diagram"
+  | State_machine_diagram -> "State Machine Diagram"
+
+let sage_supports_conceptual = function
+  | Packet_format | Interoperation | Pseudo_code -> Full
+  | State_session_management -> Partial
+  | Communication_patterns | Architecture -> None_
+
+let sage_supports_syntactic = function
+  | Header_diagram -> Full
+  | Listing -> Partial
+  | Table | Algorithm_description | Other_figures | Sequence_diagram
+  | State_machine_diagram -> None_
+
+(* The manual-inspection inventory (paper Tables 9/10).  A cell is true
+   when the RFC contains the component. *)
+let conceptual_inventory : (string * conceptual list) list =
+  [
+    ("ICMP", [ Packet_format; Interoperation; Pseudo_code ]);
+    ("IGMP",
+     [ Packet_format; Interoperation; Pseudo_code; State_session_management;
+       Communication_patterns ]);
+    ("NTP",
+     [ Packet_format; Interoperation; Pseudo_code; State_session_management;
+       Communication_patterns; Architecture ]);
+    ("BFD",
+     [ Packet_format; Interoperation; Pseudo_code; State_session_management ]);
+    ("TCP",
+     [ Packet_format; Interoperation; Pseudo_code; State_session_management;
+       Communication_patterns ]);
+    ("BGP",
+     [ Packet_format; Interoperation; Pseudo_code; State_session_management;
+       Communication_patterns; Architecture ]);
+    ("OSPF",
+     [ Packet_format; Interoperation; Pseudo_code; State_session_management;
+       Communication_patterns; Architecture ]);
+    ("RTP",
+     [ Packet_format; Interoperation; Pseudo_code; Communication_patterns;
+       Architecture ]);
+    ("SIP", [ Packet_format; Pseudo_code; State_session_management;
+              Communication_patterns ]);
+  ]
+
+let syntactic_inventory : (string * syntactic list) list =
+  [
+    ("ICMP", [ Header_diagram; Listing ]);
+    ("IGMP", [ Header_diagram; Listing ]);
+    ("NTP",
+     [ Header_diagram; Listing; Table; Algorithm_description; Other_figures ]);
+    ("BFD", [ Header_diagram; Listing; Table ]);
+    ("TCP",
+     [ Header_diagram; Listing; Table; Algorithm_description; Other_figures;
+       Sequence_diagram; State_machine_diagram ]);
+    ("BGP",
+     [ Header_diagram; Listing; Table; Algorithm_description;
+       State_machine_diagram ]);
+    ("OSPF",
+     [ Header_diagram; Listing; Table; Algorithm_description; Other_figures;
+       Sequence_diagram ]);
+    ("RTP",
+     [ Header_diagram; Listing; Table; Algorithm_description; Other_figures ]);
+    ("SIP", [ Header_diagram; Listing; Table; Sequence_diagram ]);
+  ]
+
+let has_conceptual ~rfc c =
+  match List.assoc_opt rfc conceptual_inventory with
+  | Some cs -> List.mem c cs
+  | None -> false
+
+let has_syntactic ~rfc s =
+  match List.assoc_opt rfc syntactic_inventory with
+  | Some ss -> List.mem s ss
+  | None -> false
+
+let support_mark = function Full -> "(full)" | Partial -> "(partial)" | None_ -> ""

@@ -1,0 +1,44 @@
+(** The specification-component inventory behind Tables 9 and 10 (paper
+    §7): which conceptual and syntactic components appear in each of nine
+    protocol RFCs, and which of them SAGE supports.
+
+    The paper built these tables by manual inspection; this module records
+    that inventory as data so the bench harness can regenerate the
+    tables. *)
+
+type support = Full | Partial | None_
+
+type conceptual =
+  | Packet_format
+  | Interoperation
+  | Pseudo_code
+  | State_session_management
+  | Communication_patterns
+  | Architecture
+
+type syntactic =
+  | Header_diagram
+  | Listing
+  | Table
+  | Algorithm_description
+  | Other_figures
+  | Sequence_diagram
+  | State_machine_diagram
+
+val rfcs : string list
+(** The nine surveyed RFCs (protocol names). *)
+
+val conceptual_components : conceptual list
+val syntactic_components : syntactic list
+
+val conceptual_name : conceptual -> string
+val syntactic_name : syntactic -> string
+
+val sage_supports_conceptual : conceptual -> support
+val sage_supports_syntactic : syntactic -> support
+
+val has_conceptual : rfc:string -> conceptual -> bool
+val has_syntactic : rfc:string -> syntactic -> bool
+
+val support_mark : support -> string
+(** "x" table-cell marks with the paper's ♦/+ prefix convention. *)

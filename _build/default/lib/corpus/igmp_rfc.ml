@@ -1,0 +1,73 @@
+let title = "HOST EXTENSIONS FOR IP MULTICASTING (RFC 1112), Appendix I"
+
+let dictionary_extension =
+  [
+    "igmp message";
+    "host membership query message";
+    "host membership report message";
+    "group address field";
+    "version field";
+    "unused field";
+    "all-hosts group";
+    "host group being reported";
+  ]
+
+let diagram =
+  "    0                   1                   2                   3\n\
+  \    0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |Version| Type  |    Unused     |           Checksum            |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |                         Group Address                         |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+"
+
+let text =
+  String.concat "\n"
+    [
+      "Host Membership Query or Host Membership Report Message";
+      "";
+      diagram;
+      "";
+      "   Fields:";
+      "";
+      "   Version";
+      "";
+      "      1";
+      "";
+      "   Type";
+      "";
+      "      1 = Host Membership Query message;";
+      "      2 = Host Membership Report message.";
+      "";
+      "   Unused";
+      "";
+      "      0";
+      "";
+      "   Checksum";
+      "";
+      "      The checksum is the 16-bit one's complement of the one's\n\
+      \      complement sum of the IGMP message.  For computing the\n\
+      \      checksum, the checksum field should be zero.";
+      "";
+      "   Group Address";
+      "";
+      "      The group address field in the host membership query message\n\
+      \      is zero.  The group address field in the host membership\n\
+      \      report message is the host group address.";
+      "";
+      "   Description";
+      "";
+      "      The host membership query message is sent to the all-hosts\n\
+      \      group.  The host membership report message is sent to the\n\
+      \      host group being reported.  A report is delayed by a random\n\
+      \      interval to avoid an implosion of concurrent reports.  If a\n\
+      \      report is heard for a group before the group's timer expires,\n\
+      \      the timer is stopped.";
+      "";
+    ]
+
+let annotated_non_actionable =
+  [
+    "A report is delayed by a random interval";
+    "If a report is heard for a group";
+  ]

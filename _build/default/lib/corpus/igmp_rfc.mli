@@ -1,0 +1,7 @@
+(** RFC 1112 Appendix I (IGMP version 1), the packet-format portion SAGE
+    parses in §6.3. *)
+
+val title : string
+val text : string
+val annotated_non_actionable : string list
+val dictionary_extension : string list

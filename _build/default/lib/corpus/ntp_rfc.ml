@@ -1,0 +1,98 @@
+let title = "NETWORK TIME PROTOCOL (RFC 1059), Appendices A and B"
+
+let dictionary_extension =
+  [
+    "ntp packet"; "ntp message"; "ntp data";
+    "udp datagram"; "udp header";
+    "leap indicator"; "synchronizing distance"; "estimated drift rate";
+    "reference clock identifier"; "reference timestamp";
+    "peer.timer"; "peer.mode"; "peer.hostpoll";
+    "timeout procedure"; "transmit procedure";
+    "symmetric mode"; "client mode";
+  ]
+
+let diagram =
+  "    0                   1                   2                   3\n\
+  \    0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |LI | Status    |    Stratum    |     Poll      |   Precision   |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |                    Synchronizing Distance                     |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |                     Estimated Drift Rate                      |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |                 Reference Clock Identifier                    |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |                    Reference Timestamp                        |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |                    Reference Timestamp                        |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |                    Originate Timestamp                        |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |                    Originate Timestamp                        |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |                     Receive Timestamp                         |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |                     Receive Timestamp                         |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |                     Transmit Timestamp                        |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+  \   |                     Transmit Timestamp                        |\n\
+  \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+"
+
+let text =
+  String.concat "\n"
+    [
+      "NTP Message";
+      "";
+      diagram;
+      "";
+      "   Appendix A.  UDP Header";
+      "";
+      "   Encapsulation";
+      "";
+      "      The NTP packet is encapsulated in a UDP datagram.  The\n\
+      \      destination port of the UDP datagram is 123.  The source port\n\
+      \      of the UDP datagram is 123.";
+      "";
+      "   Fields:";
+      "";
+      "   Stratum";
+      "";
+      "      0";
+      "";
+      "   Poll";
+      "";
+      "      6";
+      "";
+      "   Precision";
+      "";
+      "      0";
+      "";
+      "   Transmit Timestamp";
+      "";
+      "      The transmit timestamp in the ntp message is set to the\n\
+      \      current time.";
+      "";
+      "   Description";
+      "";
+      "      The leap indicator warns of an impending leap second to be\n\
+      \      inserted at the end of the last day of the current month.\n\
+      \      If peer.timer expires, the timeout procedure is called.\n\
+      \      If peer.mode is symmetric mode or peer.mode is client mode,\n\
+      \      the transmit procedure is called and peer.timer is set to\n\
+      \      peer.hostpoll.";
+      "";
+      "   Timeout Procedure";
+      "";
+      "      begin timeout-procedure";
+      "          if (peer.mode = 1 or peer.mode = 3) then call \
+       transmit-procedure;";
+      "          peer.timer := peer.hostpoll;";
+      "          if (peer.reach = 0) then peer.hostpoll := 6;";
+      "      end";
+      "";
+    ]
+
+let annotated_non_actionable =
+  [ "The leap indicator warns of an impending leap second" ]

@@ -1,0 +1,7 @@
+(** RFC 1059 (NTP version 1), Appendices A (UDP encapsulation) and B
+    (packet format), plus the §7/Table 11 peer-variable timeout sentence. *)
+
+val title : string
+val text : string
+val annotated_non_actionable : string list
+val dictionary_extension : string list

@@ -1,0 +1,1 @@
+lib/disambig/checks.ml: List Sage_logic Sort String

@@ -1,0 +1,1 @@
+lib/disambig/checks.mli: Sage_logic

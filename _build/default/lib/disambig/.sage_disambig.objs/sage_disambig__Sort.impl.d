@@ -1,0 +1,1 @@
+lib/disambig/sort.ml: List Sage_logic

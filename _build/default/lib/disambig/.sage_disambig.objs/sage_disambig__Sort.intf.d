@@ -1,0 +1,1 @@
+lib/disambig/sort.mli: Sage_logic

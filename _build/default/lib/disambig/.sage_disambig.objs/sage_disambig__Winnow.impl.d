@@ -1,0 +1,1 @@
+lib/disambig/winnow.ml: Checks List Sage_logic

@@ -1,0 +1,1 @@
+lib/disambig/winnow.mli: Checks Sage_logic

@@ -1,0 +1,424 @@
+module Lf = Sage_logic.Lf
+
+type family = Type_check | Arg_order | Pred_order | Distributivity | Associativity
+
+let family_name = function
+  | Type_check -> "type"
+  | Arg_order -> "argument ordering"
+  | Pred_order -> "predicate ordering"
+  | Distributivity -> "distributivity"
+  | Associativity -> "associativity"
+
+type check = { name : string; family : family; violates : Lf.t -> bool }
+
+(* [bad_args name pred_name f] flags an LF when any occurrence of
+   [pred_name] has arguments for which [f] holds. *)
+let on_pred pred_name bad lf =
+  Lf.exists
+    (function Lf.Pred (p, args) when String.equal p pred_name -> bad args | _ -> false)
+    lf
+
+let sort = Sort.of_lf
+let is_entity lf = Sort.equal (sort lf) Sort.Entity
+let is_event lf = Sort.equal (sort lf) Sort.Event
+let is_clause lf = Sort.equal (sort lf) Sort.Clause
+let is_name lf = match lf with Lf.Str _ -> true | _ -> false
+let is_constant lf = match lf with Lf.Num _ | Lf.Str _ -> true | _ -> false
+
+let is_entity_or_modified lf =
+  match sort lf with Sort.Entity | Sort.Modified -> true | _ -> false
+
+let is_clause_like lf =
+  match sort lf with Sort.Clause | Sort.Unknown -> true | _ -> false
+
+let tc name violates = { name; family = Type_check; violates }
+let ac name violates = { name; family = Arg_order; violates }
+let pc name violates = { name; family = Pred_order; violates }
+
+(* ------------------------------------------------------------------ *)
+(* Type checks: per-predicate argument-sort allowlists (32 checks).    *)
+(* ------------------------------------------------------------------ *)
+
+let type_checks =
+  [
+    (* @Action(fname, args...) *)
+    tc "action-fname-is-name"
+      (on_pred Lf.p_action (function f :: _ -> not (is_name f) | [] -> true));
+    tc "action-has-subject"
+      (on_pred Lf.p_action (function [ _ ] | [] -> true | _ -> false));
+    tc "action-args-are-entities"
+      (on_pred Lf.p_action (function
+        | _ :: args -> List.exists is_clause args
+        | [] -> true));
+    (* @Is(lhs, rhs) *)
+    tc "is-lhs-not-constant"
+      (on_pred Lf.p_is (function lhs :: _ -> is_constant lhs | [] -> true));
+    tc "is-lhs-is-entity"
+      (on_pred Lf.p_is (function
+        | [ lhs; _ ] -> not (is_entity_or_modified lhs)
+        | _ -> true));
+    tc "is-rhs-not-clause"
+      (on_pred Lf.p_is (function [ _; rhs ] -> is_clause rhs | _ -> true));
+    tc "is-binary"
+      (on_pred Lf.p_is (fun args -> List.length args <> 2));
+    (* @Set(field, value) *)
+    tc "set-field-is-entity"
+      (on_pred Lf.p_set (function f :: _ -> not (is_entity f) | [] -> true));
+    tc "set-value-not-clause"
+      (on_pred Lf.p_set (function [ _; v ] -> is_clause v | _ -> true));
+    (* @If(cond, conseq) *)
+    tc "if-binary" (on_pred Lf.p_if (fun args -> List.length args <> 2));
+    tc "if-cond-is-clause"
+      (on_pred Lf.p_if (function c :: _ -> not (is_clause_like c) | [] -> true));
+    tc "if-conseq-is-clause"
+      (on_pred Lf.p_if (function
+        | [ _; c ] -> not (is_clause_like c)
+        | _ -> true));
+    (* @AdvBefore(context, body) *)
+    tc "advice-context-is-event"
+      (on_pred Lf.p_adv_before (function
+        | ctx :: _ -> not (is_event ctx)
+        | [] -> true));
+    tc "advice-body-is-clause"
+      (on_pred Lf.p_adv_before (function
+        | [ _; body ] -> not (is_clause body)
+        | _ -> true));
+    (* @Cmp(op, a, b) *)
+    tc "cmp-op-known"
+      (on_pred Lf.p_cmp (function
+        | Lf.Term op :: _ -> not (List.mem op [ "eq"; "ne"; "gt"; "ge"; "lt"; "le" ])
+        | _ :: _ -> true
+        | [] -> true));
+    tc "cmp-args-are-entities"
+      (on_pred Lf.p_cmp (function
+        | [ _; a; b ] -> not (is_entity a && is_entity b)
+        | _ -> true));
+    (* modals and negation wrap exactly one clause *)
+    tc "may-wraps-clause"
+      (on_pred Lf.p_may (function [ c ] -> not (is_clause_like c) | _ -> true));
+    tc "must-wraps-clause"
+      (on_pred Lf.p_must (function [ c ] -> not (is_clause_like c) | _ -> true));
+    tc "not-wraps-clause-or-entity"
+      (on_pred Lf.p_not (function [ _ ] -> false | _ -> true));
+    (* coordination must be homogeneous (same sort on both sides) *)
+    tc "and-homogeneous"
+      (on_pred Lf.p_and (fun args ->
+           match List.map sort args with
+           | [] -> true
+           | s :: rest -> not (List.for_all (Sort.equal s) rest)));
+    tc "or-homogeneous"
+      (on_pred Lf.p_or (fun args ->
+           match List.map sort args with
+           | [] -> true
+           | s :: rest -> not (List.for_all (Sort.equal s) rest)));
+    (* @Of attaches entities; an @Of over a clause is the over-generated
+       "A of (B is C)" attachment *)
+    tc "of-args-are-entities"
+      (on_pred Lf.p_of (fun args -> List.exists is_clause args));
+    tc "of-binary" (on_pred Lf.p_of (fun args -> List.length args <> 2));
+    (* @StartAt(entity, entity) *)
+    tc "startat-base-is-entity"
+      (on_pred "@StartAt" (function a :: _ -> is_clause a | [] -> true));
+    tc "startat-marker-is-entity"
+      (on_pred "@StartAt" (function [ _; m ] -> not (is_entity m) | _ -> true));
+    (* @Send(subject, object, destination) *)
+    tc "send-object-is-entity"
+      (on_pred Lf.p_send (function
+        | [ _; obj; _ ] -> not (is_entity obj)
+        | _ -> false));
+    tc "send-dest-is-entity"
+      (on_pred Lf.p_send (function
+        | [ _; _; dest ] -> not (is_entity dest)
+        | _ -> false));
+    (* @Select(object, key) *)
+    tc "select-args-are-entities"
+      (on_pred Lf.p_select (fun args -> List.exists is_clause args));
+    (* @Purpose(entity, clause) *)
+    tc "purpose-head-is-entity"
+      (on_pred "@Purpose" (function
+        | h :: _ -> not (is_entity_or_modified h)
+        | [] -> true));
+    (* @Where(entity, clause) *)
+    tc "where-head-is-entity"
+      (on_pred "@Where" (function h :: _ -> not (is_entity h) | [] -> true));
+    (* gerunds wrap a single entity *)
+    tc "compute-wraps-entity"
+      (on_pred Lf.p_compute (function [ x ] -> not (is_entity x) | _ -> true));
+    tc "match-wraps-entity"
+      (on_pred "@Match" (function [ x ] -> not (is_entity x) | _ -> true));
+    (* noun compounds join bare nouns — a compound with a number or a
+       clause is a misparse *)
+    tc "compound-args-are-terms"
+      (on_pred "@Compound" (fun args ->
+           not
+             (List.for_all
+                (function
+                  | Lf.Term _ | Lf.Pred ("@Compound", _) -> true
+                  | _ -> false)
+                args)));
+    (* purpose-only verbs ("to aid in ...") occur only inside a @Purpose
+       modifier — a top-level "aid" action is a misparse *)
+    tc "aid-only-under-purpose"
+      (fun lf ->
+        let rec check inside_purpose = function
+          | Lf.Pred (p, (Lf.Str "aid" :: _ as args)) when p = Lf.p_action ->
+            (not inside_purpose) || List.exists (check inside_purpose) args
+          | Lf.Pred (p, args) ->
+            let inside = inside_purpose || p = "@Purpose" in
+            List.exists (check inside) args
+          | Lf.Term _ | Lf.Num _ | Lf.Str _ | Lf.Var _ -> false
+        in
+        check false lf);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Argument-ordering checks (7): blocklists for order-sensitive        *)
+(* predicates (paper: @IF(A,B) vs @IF(B,A)).                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec condition_like lf =
+  match lf with
+  | Lf.Pred (p, args) when p = Lf.p_and || p = Lf.p_or ->
+    args <> [] && List.for_all condition_like args
+  | Lf.Pred (p, [ arg ]) when p = Lf.p_not -> condition_like arg
+  | Lf.Pred (p, _) ->
+    p = Lf.p_cmp || p = Lf.p_is || p = "@Found" || p = "@Event"
+  | _ -> false
+
+let rec imperative_like lf =
+  match lf with
+  | Lf.Pred (p, args) when p = Lf.p_and || p = Lf.p_or ->
+    List.exists imperative_like args
+  | Lf.Pred (p, _) ->
+    List.mem p
+      [ Lf.p_action; Lf.p_send; Lf.p_set; Lf.p_discard; Lf.p_select;
+        Lf.p_may; Lf.p_must; Lf.p_call; Lf.p_update ]
+  | _ -> false
+
+let arg_order_checks =
+  [
+    (* "If A, B": the condition is the (condition-like) A — an @If whose
+       second argument is condition-like while the first is imperative is
+       the swapped over-generation *)
+    ac "if-condition-first"
+      (on_pred Lf.p_if (function
+        | [ a; b ] -> imperative_like a && condition_like b
+        | _ -> false));
+    (* conditions compare a field to a constant, not vice versa *)
+    ac "cmp-constant-on-right"
+      (on_pred Lf.p_cmp (function
+        | [ _; Lf.Num _; rhs ] -> not (is_constant rhs)
+        | _ -> false));
+    (* assignments put the constant on the right *)
+    ac "is-value-on-right"
+      (on_pred Lf.p_is (function
+        | [ Lf.Num _; rhs ] -> not (is_constant rhs)
+        | _ -> false));
+    (* @Set(field, value): a bare constant cannot be the field *)
+    ac "set-field-not-constant"
+      (on_pred Lf.p_set (function f :: _ -> is_constant f | [] -> false));
+    (* advice: context precedes body — the flipped reading has the clause
+       in the context slot *)
+    ac "advice-context-not-clause"
+      (on_pred Lf.p_adv_before (function
+        | ctx :: _ -> is_clause ctx
+        | [] -> false));
+    (* @Send(subject, object, dest): subject slot must not hold a number *)
+    ac "send-subject-not-constant"
+      (on_pred Lf.p_send (function s :: _ -> is_constant s | [] -> false));
+    (* @Select(object, key): the session object comes first *)
+    ac "select-object-first"
+      (on_pred Lf.p_select (function
+        | [ obj; key ] -> is_constant obj && not (is_constant key)
+        | _ -> false));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Predicate-ordering checks: blocked nestings (outer, inner).         *)
+(* ------------------------------------------------------------------ *)
+
+let blocked_nesting outer inners lf =
+  Lf.exists
+    (function
+      | Lf.Pred (p, args) when String.equal p outer ->
+        List.exists
+          (fun arg ->
+            match arg with
+            | Lf.Pred (q, _) -> List.mem q inners
+            | _ -> false)
+          args
+      | _ -> false)
+    lf
+
+let icmp_pred_order_checks =
+  [
+    (* "(A of B) is C" is right; "A of (B is C)" is the over-generation *)
+    pc "no-is-under-of" (blocked_nesting Lf.p_of [ Lf.p_is; Lf.p_set ]);
+    (* modality scopes under the conditional: @If(c, @May(e)), never
+       @May(@If(c,e)) *)
+    pc "no-if-under-modal"
+      (fun lf ->
+        blocked_nesting Lf.p_may [ Lf.p_if ] lf
+        || blocked_nesting Lf.p_must [ Lf.p_if ] lf);
+    (* purpose clauses modify noun phrases, not conditions *)
+    pc "no-if-under-purpose" (blocked_nesting "@Purpose" [ Lf.p_if ]);
+    (* advice wraps whole sentences: it cannot appear under a conjunction *)
+    pc "no-advice-under-and"
+      (fun lf ->
+        blocked_nesting Lf.p_and [ Lf.p_adv_before ] lf
+        || blocked_nesting Lf.p_or [ Lf.p_adv_before ] lf);
+    (* attachment precedence: "of" binds tighter than "plus", so an @Of
+       may not contain a @Plus ("the internet header plus the first 64
+       bits of the data") *)
+    pc "of-binds-tighter-than-plus" (blocked_nesting Lf.p_of [ "@Plus" ]);
+    (* shared-source coordination binds the pair: "the source network and
+       address from X" groups the conjunction under @From *)
+    pc "from-binds-looser-than-and"
+      (fun lf ->
+        blocked_nesting Lf.p_and [ "@From" ] lf
+        || blocked_nesting Lf.p_or [ "@From" ] lf);
+    (* RFC sentences do not coordinate a conditional with other clauses:
+       "If A, B, and C, D" never means "(If A then B) and C and D" *)
+    pc "no-if-under-and"
+      (fun lf ->
+        blocked_nesting Lf.p_and [ Lf.p_if ] lf
+        || blocked_nesting Lf.p_or [ Lf.p_if ] lf);
+    (* "If A, B, and C, D": condition clauses group with the condition —
+       a conditional body must not conjoin a bare test with an imperative *)
+    pc "if-body-not-mixed"
+      (on_pred Lf.p_if (function
+        | [ _; Lf.Pred (c, conjuncts) ] when c = Lf.p_and || c = Lf.p_or ->
+          List.exists condition_like conjuncts
+          && List.exists imperative_like conjuncts
+        | _ -> false));
+  ]
+
+let igmp_extra_pred_order =
+  [ (* a delay gerund cannot contain a send clause (IGMP report-delay text) *)
+    pc "no-send-under-gerund" (blocked_nesting "@Transmit" [ Lf.p_send ]) ]
+
+let ntp_extra_pred_order =
+  [ (* encapsulation relates messages, not clauses *)
+    pc "no-clause-under-encapsulate"
+      (on_pred "@Encapsulate" (fun args -> List.exists is_clause args)) ]
+
+let pred_order_checks =
+  icmp_pred_order_checks @ igmp_extra_pred_order @ ntp_extra_pred_order
+
+let all_filters = type_checks @ arg_order_checks @ pred_order_checks
+
+(* ------------------------------------------------------------------ *)
+(* Condition normalization ("conditionals must be well-formed").       *)
+(* ------------------------------------------------------------------ *)
+
+let rec normalize_condition lf =
+  match lf with
+  | Lf.Pred (p, [ cond; conseq ]) when p = Lf.p_if ->
+    Lf.Pred (p, [ to_test cond; normalize_condition conseq ])
+  | Lf.Pred (p, args) -> Lf.Pred (p, List.map normalize_condition args)
+  | leaf -> leaf
+
+and to_test lf =
+  match lf with
+  | Lf.Pred (p, [ a; b ]) when p = Lf.p_is ->
+    Lf.Pred (Lf.p_cmp, [ Lf.Term "eq"; to_test a; to_test b ])
+  | Lf.Pred (p, args) -> Lf.Pred (p, List.map to_test args)
+  | leaf -> leaf
+
+(* ------------------------------------------------------------------ *)
+(* Distributivity.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let distribute lf =
+  match lf with
+  | Lf.Pred (p, [ Lf.Pred (c, [ a; b ]); rhs ])
+    when (p = Lf.p_is || p = Lf.p_set) && (c = Lf.p_and || c = Lf.p_or) ->
+    Some (Lf.Pred (c, [ Lf.Pred (p, [ a; rhs ]); Lf.Pred (p, [ b; rhs ]) ]))
+  | _ -> None
+
+(* A distributed LF is dropped when its grouped counterpart is also a
+   candidate.  We detect this by checking, for every candidate with a
+   grouped root anywhere in the tree, whether another candidate is exactly
+   the same LF with that node distributed. *)
+let select_non_distributive lfs =
+  let distributions_of lf =
+    (* all single-node distributed variants of lf *)
+    let rec go lf =
+      let here =
+        match distribute lf with Some d -> [ d ] | None -> []
+      in
+      match lf with
+      | Lf.Pred (p, args) ->
+        let child_variants =
+          List.mapi
+            (fun i _ ->
+              let arg = List.nth args i in
+              List.map
+                (fun arg' ->
+                  Lf.Pred (p, List.mapi (fun j a -> if j = i then arg' else a) args))
+                (go arg))
+            args
+          |> List.concat
+        in
+        here @ child_variants
+      | _ -> here
+    in
+    go lf
+  in
+  let to_drop =
+    List.concat_map distributions_of lfs
+    |> List.filter (fun d -> List.exists (Lf.equal d) lfs)
+  in
+  let survivors = List.filter (fun lf -> not (List.exists (Lf.equal lf) to_drop)) lfs in
+  (* never drop everything: if all candidates were distributed forms of one
+     another, keep the original list *)
+  if survivors = [] then (lfs, 0)
+  else (survivors, List.length lfs - List.length survivors)
+
+(* ------------------------------------------------------------------ *)
+(* Associativity via isomorphism of attachment-normal forms.           *)
+(* ------------------------------------------------------------------ *)
+
+(* Figure 3 of the paper: "A of B of C" gives two groupings whose LF
+   graphs are isomorphic because @Of is associative.  Our normal form
+   flattens @Of chains; @StartAt belongs to the @Of family (it is an
+   attachment with a marker), so its base is spliced into the chain and
+   the marker kept as a distinguished trailing element. *)
+let attachment_normal_form lf =
+  let rec flatten_of lf =
+    match lf with
+    | Lf.Pred (p, [ a; b ]) when p = Lf.p_of || p = Lf.p_in || p = "@Compound" ->
+      flatten_of a @ flatten_of b
+    | Lf.Pred (p, [ base; marker ]) when p = "@StartAt" ->
+      flatten_of base @ [ Lf.Pred ("@StartMarker", [ normalize marker ]) ]
+    | other -> [ normalize other ]
+  and normalize lf =
+    match lf with
+    | Lf.Pred (p, _)
+      when p = Lf.p_of || p = Lf.p_in || p = "@StartAt" || p = "@Compound" ->
+      (match flatten_of lf with
+       | [ single ] -> single
+       | chain -> Lf.Pred ("@OfChain", chain))
+    | Lf.Pred (p, args) when p = Lf.p_and || p = Lf.p_or ->
+      (* flatten and sort commutative-associative coordination *)
+      let rec flat = function
+        | Lf.Pred (q, args') when String.equal q p -> List.concat_map flat args'
+        | other -> [ normalize other ]
+      in
+      Lf.Pred (p, List.sort Lf.compare (List.concat_map flat args))
+    | Lf.Pred (p, args) -> Lf.Pred (p, List.map normalize args)
+    | leaf -> leaf
+  in
+  normalize lf
+
+let merge_isomorphic lfs =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | lf :: rest ->
+      let nf = attachment_normal_form lf in
+      if List.exists (fun k -> Lf.equal (attachment_normal_form k) nf) kept then
+        go kept rest
+      else go (lf :: kept) rest
+  in
+  let survivors = go [] lfs in
+  (survivors, List.length lfs - List.length survivors)

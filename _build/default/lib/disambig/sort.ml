@@ -1,0 +1,57 @@
+module Lf = Sage_logic.Lf
+
+type t = Entity | Event | Clause | Name | Modified | Unknown
+
+let entity_preds =
+  [ Lf.p_of; "@From"; "@Plus"; Lf.p_in; "@StartAt"; Lf.p_num; Lf.p_field;
+    "@No"; "@Compound" ]
+
+let event_preds =
+  [ Lf.p_compute; "@Match"; "@Form"; "@Transmit"; "@Gerund" ]
+
+let clause_preds =
+  [ Lf.p_is; Lf.p_set; Lf.p_action; Lf.p_send; Lf.p_if; Lf.p_may; Lf.p_must;
+    Lf.p_not; Lf.p_cmp; Lf.p_discard; Lf.p_select; Lf.p_reverse; Lf.p_update;
+    Lf.p_call; Lf.p_seq; Lf.p_adv_before; Lf.p_adv_comment; "@Goal";
+    "@Otherwise"; "@CopyFrom"; "@CopyTo"; "@Encapsulate"; "@AssociatedWith";
+    "@Event"; "@Found" ]
+
+let modified_preds = [ "@Purpose"; "@Where" ]
+
+let rec of_lf lf =
+  match lf with
+  | Lf.Term _ | Lf.Num _ -> Entity
+  | Lf.Str _ -> Name
+  | Lf.Var _ -> Unknown
+  | Lf.Pred (p, [ arg ]) when p = Lf.p_not ->
+    (* negation is sort-transparent: "not 1" is an entity, "not sent" a
+       clause *)
+    of_lf arg
+  | Lf.Pred (p, args) ->
+    if List.mem p entity_preds then Entity
+    else if List.mem p event_preds then Event
+    else if List.mem p clause_preds then Clause
+    else if List.mem p modified_preds then Modified
+    else if p = Lf.p_and || p = Lf.p_or then begin
+      (* coordination takes the sort of its conjuncts when homogeneous *)
+      match List.map of_lf args with
+      | [] -> Unknown
+      | s :: rest -> if List.for_all (equal_sort s) rest then s else Unknown
+    end
+    else Unknown
+
+and equal_sort a b =
+  match a, b with
+  | Entity, Entity | Event, Event | Clause, Clause | Name, Name
+  | Modified, Modified | Unknown, Unknown -> true
+  | _ -> false
+
+let equal = equal_sort
+
+let to_string = function
+  | Entity -> "entity"
+  | Event -> "event"
+  | Clause -> "clause"
+  | Name -> "name"
+  | Modified -> "modified"
+  | Unknown -> "unknown"

@@ -1,0 +1,24 @@
+(** Semantic sorts of logical-form subterms.
+
+    The paper's type checks (§4.2) are allowlists over predicate argument
+    kinds ("action predicates have function name arguments, assignments
+    cannot have constants on the left hand side, ...").  We factor the
+    common vocabulary into a small sort system: every LF subterm has a
+    sort, and each type check constrains the sorts a predicate's arguments
+    may take. *)
+
+type t =
+  | Entity    (** a field, protocol object or value: terms, numbers,
+                  [@Of]/[@From]/[@Plus]/[@In]/[@StartAt] attachments *)
+  | Event     (** a nominalized action (gerund): [@Compute], [@Match],
+                  [@Form], [@Transmit] ... *)
+  | Clause    (** something assertable/executable: [@Is], [@Set],
+                  [@Action], [@Send], [@If], modals, conjunction of
+                  clauses ... *)
+  | Name      (** a function-name string literal *)
+  | Modified  (** an entity carrying a purpose/relative-clause modifier *)
+  | Unknown   (** anything else (unrecognized predicate) *)
+
+val of_lf : Sage_logic.Lf.t -> t
+val to_string : t -> string
+val equal : t -> t -> bool

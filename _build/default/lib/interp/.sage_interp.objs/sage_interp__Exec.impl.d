@@ -1,0 +1,1 @@
+lib/interp/exec.ml: Bytes Int64 List Packet_view Printf Runtime Sage_codegen Sage_net String

@@ -1,0 +1,1 @@
+lib/interp/packet_view.ml: Bytes Char Fmt Hashtbl Int64 List Option Printf Sage_rfc

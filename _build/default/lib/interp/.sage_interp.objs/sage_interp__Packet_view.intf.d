@@ -1,0 +1,1 @@
+lib/interp/packet_view.mli: Format Sage_rfc

@@ -1,0 +1,1 @@
+lib/interp/runtime.ml: Bytes Char Hashtbl Int64 List Option Packet_view Sage_net

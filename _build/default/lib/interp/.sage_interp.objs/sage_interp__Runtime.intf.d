@@ -1,0 +1,1 @@
+lib/interp/runtime.mli: Hashtbl Packet_view Sage_net

@@ -1,0 +1,221 @@
+module Rt = Runtime
+module Ir = Sage_codegen.Ir
+module Pv = Packet_view
+
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let builtin_names =
+  [
+    "swap_ip_addresses"; "swap_fields"; "ones_complement_sum"; "complement16";
+    "message_from"; "whole_message"; "recompute_checksum"; "concat";
+    "first_64_bits"; "original_field"; "select_session"; "encapsulate_udp";
+    "add"; "sub"; "event_expire"; "event_occur"; "transmit_procedure";
+    "timeout_procedure"; "session_found";
+  ]
+
+let view_for rt ~request =
+  if request then
+    match rt.Rt.request with
+    | Some v -> v
+    | None -> fail "no received message in this role"
+  else rt.Rt.proto
+
+let ip_for rt ~request =
+  if request then
+    match rt.Rt.request_ip with
+    | Some ip -> ip
+    | None -> fail "no received IP header in this role"
+  else rt.Rt.ip
+
+let read_ip_field (ip : Rt.ip_info) = function
+  | "src" -> Int64.of_int32 (Sage_net.Addr.to_int32 ip.src)
+  | "dst" -> Int64.of_int32 (Sage_net.Addr.to_int32 ip.dst)
+  | "ttl" -> Int64.of_int ip.ttl
+  | "tos" -> Int64.of_int ip.tos
+  | f -> fail "unknown IP field %S" f
+
+let write_ip_field (ip : Rt.ip_info) field v =
+  let addr () = Sage_net.Addr.of_int32 (Int64.to_int32 v) in
+  match field with
+  | "src" -> ip.src <- addr ()
+  | "dst" -> ip.dst <- addr ()
+  | "ttl" -> ip.ttl <- Int64.to_int v
+  | "tos" -> ip.tos <- Int64.to_int v
+  | f -> fail "unknown IP field %S" f
+
+let read_field rt ~request layer field =
+  match (layer : Ir.layer) with
+  | Ir.Proto ->
+    let v = view_for rt ~request in
+    if field = "data" || Pv.is_variable_field v field then
+      Rt.VBytes (Pv.get_data v)
+    else
+      (match Pv.get v field with
+       | Ok n -> Rt.VInt n
+       | Error e -> fail "%s" e)
+  | Ir.Ip -> Rt.VInt (read_ip_field (ip_for rt ~request) field)
+  | Ir.State -> Rt.VInt (Rt.state_get rt field)
+
+let write_field rt layer field value =
+  match (layer : Ir.layer) with
+  | Ir.Proto ->
+    if field = "data" || Pv.is_variable_field rt.Rt.proto field then
+      Pv.set_data rt.Rt.proto (Rt.bytes_of_value value)
+    else
+      (match Pv.set rt.Rt.proto field (Rt.int_of_value value) with
+       | Ok () -> ()
+       | Error e -> fail "%s" e)
+  | Ir.Ip -> write_ip_field rt.Rt.ip field (Rt.int_of_value value)
+  | Ir.State -> Rt.state_set rt field (Rt.int_of_value value)
+
+(* checksum over the outgoing message, zeroing the named checksum field *)
+let checksum_outgoing rt ~checksum_field =
+  let v = Pv.copy rt.Rt.proto in
+  (match Pv.set v checksum_field 0L with Ok () -> () | Error e -> fail "%s" e);
+  let wire = Pv.serialize v in
+  Rt.VInt (Int64.of_int (Sage_net.Checksum.checksum wire))
+
+let rec eval_expr rt (e : Ir.expr) : Rt.value =
+  match e with
+  | Ir.Int n -> Rt.VInt (Int64.of_int n)
+  | Ir.Str s -> Rt.VBytes (Bytes.of_string s)
+  | Ir.Field (l, f) -> read_field rt ~request:false l f
+  | Ir.Request_field (l, f) -> read_field rt ~request:true l f
+  | Ir.Param p ->
+    (match Rt.param rt p with
+     | Some v -> v
+     | None -> fail "environment parameter %S not provided" p)
+  | Ir.Call (fn, args) -> eval_call rt fn args
+  | Ir.Not e -> Rt.VInt (if Rt.int_of_value (eval_expr rt e) = 0L then 1L else 0L)
+  | Ir.Cmp (op, a, b) ->
+    let va = Rt.int_of_value (eval_expr rt a)
+    and vb = Rt.int_of_value (eval_expr rt b) in
+    let r =
+      match op with
+      | "eq" -> va = vb
+      | "ne" -> va <> vb
+      | "gt" -> va > vb
+      | "ge" -> va >= vb
+      | "lt" -> va < vb
+      | "le" -> va <= vb
+      | other -> fail "unknown comparison %S" other
+    in
+    Rt.VInt (if r then 1L else 0L)
+  | Ir.And (a, b) ->
+    Rt.VInt
+      (if Rt.int_of_value (eval_expr rt a) <> 0L
+          && Rt.int_of_value (eval_expr rt b) <> 0L
+       then 1L else 0L)
+  | Ir.Or (a, b) ->
+    Rt.VInt
+      (if Rt.int_of_value (eval_expr rt a) <> 0L
+          || Rt.int_of_value (eval_expr rt b) <> 0L
+       then 1L else 0L)
+
+and eval_call rt fn args =
+  match fn, args with
+  | "swap_ip_addresses", [] ->
+    let ip = rt.Rt.ip in
+    let s = ip.src in
+    ip.src <- ip.dst;
+    ip.dst <- s;
+    Rt.VInt 0L
+  | "swap_fields", [ Ir.Field (l1, f1); Ir.Field (l2, f2) ] ->
+    let v1 = read_field rt ~request:false l1 f1
+    and v2 = read_field rt ~request:false l2 f2 in
+    write_field rt l1 f1 v2;
+    write_field rt l2 f2 v1;
+    Rt.VInt 0L
+  (* the checksum chain: complement16(ones_complement_sum(message_from(f))) *)
+  | "message_from", [ Ir.Field (Ir.Proto, f) ] ->
+    let v = Pv.copy rt.Rt.proto in
+    (* the checksum field is zero for the computation (the advice sentence
+       also sets this; doing it here keeps the primitive total) *)
+    List.iter
+      (fun cf -> match Pv.set v cf 0L with Ok () | Error _ -> ())
+      [ "checksum" ];
+    (match Pv.serialize_from v f with
+     | Ok b -> Rt.VBytes b
+     | Error e -> fail "%s" e)
+  | "whole_message", _ -> Rt.VBytes (Pv.serialize rt.Rt.proto)
+  | "ones_complement_sum", [ a ] ->
+    let b = Rt.bytes_of_value (eval_expr rt a) in
+    Rt.VInt (Int64.of_int (Sage_net.Checksum.ones_complement_sum b))
+  | "complement16", [ a ] ->
+    let v = Rt.int_of_value (eval_expr rt a) in
+    Rt.VInt (Int64.of_int (0xffff land lnot (Int64.to_int v)))
+  | ("recompute_checksum" | "recompute_cksum"), [] ->
+    checksum_outgoing rt ~checksum_field:"checksum"
+  | "concat", [ a; b ] ->
+    Rt.VBytes
+      (Bytes.cat
+         (Rt.bytes_of_value (eval_expr rt a))
+         (Rt.bytes_of_value (eval_expr rt b)))
+  | "first_64_bits", [ a ] ->
+    let b = Rt.bytes_of_value (eval_expr rt a) in
+    Rt.VBytes (Bytes.sub b 0 (min 8 (Bytes.length b)))
+  | "original_field", [ Ir.Str _label ] ->
+    (match Rt.param rt "original_datagram" with
+     | Some (Rt.VBytes dgram) ->
+       (match Sage_net.Ipv4.decode dgram with
+        | Ok (hdr, _) ->
+          Rt.VInt (Int64.of_int32 (Sage_net.Addr.to_int32 hdr.Sage_net.Ipv4.src))
+        | Error e -> fail "original datagram: %s" e)
+     | Some (Rt.VInt _) -> fail "original datagram is not bytes"
+     | None -> fail "no original datagram in environment")
+  | "session_found", [] ->
+    (* a session exists for the selected discriminator iff it matches the
+       local one *)
+    (match rt.Rt.selected_session with
+     | Some k -> Rt.VInt (if k = Rt.state_get rt "bfd.LocalDiscr" then 1L else 0L)
+     | None -> Rt.VInt 0L)
+  | "select_session", [ key ] ->
+    let k = Rt.int_of_value (eval_expr rt key) in
+    rt.Rt.selected_session <- Some k;
+    Rt.VInt (if k = Rt.state_get rt "bfd.LocalDiscr" then 1L else 0L)
+  | "encapsulate_udp", [ port ] ->
+    let p = Rt.int_of_value (eval_expr rt port) in
+    Rt.set_param rt "udp_dst_port" (Rt.VInt p);
+    rt.Rt.called <- "encapsulate_udp" :: rt.Rt.called;
+    Rt.VInt 0L
+  | "add", [ a; b ] ->
+    Rt.VInt
+      (Int64.add (Rt.int_of_value (eval_expr rt a)) (Rt.int_of_value (eval_expr rt b)))
+  | "sub", [ a; b ] ->
+    Rt.VInt
+      (Int64.sub (Rt.int_of_value (eval_expr rt a)) (Rt.int_of_value (eval_expr rt b)))
+  | "event_expire", [ a ] ->
+    (* a timer "expires" when it has counted down to zero *)
+    Rt.VInt (if Rt.int_of_value (eval_expr rt a) = 0L then 1L else 0L)
+  | "event_occur", [ a ] ->
+    (* an operator/transport event "occurs" when its flag is set *)
+    Rt.VInt (if Rt.int_of_value (eval_expr rt a) <> 0L then 1L else 0L)
+  | ("transmit_procedure" | "timeout_procedure"), [] ->
+    rt.Rt.called <- fn :: rt.Rt.called;
+    Rt.VInt 0L
+  | fn, args ->
+    (* checksum recomputation of specific fields: recompute_<field> *)
+    if String.length fn > 10 && String.sub fn 0 10 = "recompute_" && args = [] then
+      checksum_outgoing rt ~checksum_field:(String.sub fn 10 (String.length fn - 10))
+    else fail "unknown framework function %S/%d" fn (List.length args)
+
+let rec run_stmts rt stmts =
+  match stmts with
+  | [] -> ()
+  | _ when rt.Rt.discarded -> ()
+  | stmt :: rest ->
+    (match stmt with
+     | Ir.Assign (Ir.Lfield (l, f), e) -> write_field rt l f (eval_expr rt e)
+     | Ir.Assign (Ir.Lvar v, e) -> Rt.set_param rt v (eval_expr rt e)
+     | Ir.If (c, then_, else_) ->
+       if Rt.int_of_value (eval_expr rt c) <> 0L then run_stmts rt then_
+       else run_stmts rt else_
+     | Ir.Do e -> ignore (eval_expr rt e)
+     | Ir.Discard -> rt.Rt.discarded <- true
+     | Ir.Send m -> rt.Rt.sent_messages <- m :: rt.Rt.sent_messages
+     | Ir.Comment _ -> ());
+    run_stmts rt rest
+
+let run_func rt (f : Ir.func) = run_stmts rt f.Ir.body

@@ -1,0 +1,24 @@
+(** Executing generated IR.
+
+    Statements run against a {!Runtime.t}.  Framework calls ([Sage_codegen.Ir.Call])
+    are the static framework of the paper (§5.1): checksum machinery, IP
+    header manipulation, excerpting the original datagram, session
+    selection, clocks.  Calls whose semantics need the {e identity} of a
+    field argument (e.g. [message_from(hdr->type)] must serialize from the
+    field's offset, not from its value) are interpreted symbolically. *)
+
+exception Runtime_error of string
+
+val run_func : Runtime.t -> Sage_codegen.Ir.func -> unit
+(** Execute a function body.  [Discard] sets the runtime's flag and stops;
+    [Send] records the message name.  Raises {!Runtime_error} on
+    unresolvable fields or unknown framework calls — such failures feed
+    the pipeline's iterative discovery of non-actionable sentences. *)
+
+val run_stmts : Runtime.t -> Sage_codegen.Ir.stmt list -> unit
+
+val eval_expr : Runtime.t -> Sage_codegen.Ir.expr -> Runtime.value
+(** Exposed for tests. *)
+
+val builtin_names : string list
+(** The framework functions the interpreter implements. *)

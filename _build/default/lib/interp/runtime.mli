@@ -1,0 +1,52 @@
+(** The execution environment for generated code: the outgoing message
+    under construction, the received message (receiver role), the IP
+    header beneath (static-framework access), environment parameters, and
+    protocol state variables. *)
+
+type ip_info = {
+  mutable src : Sage_net.Addr.t;
+  mutable dst : Sage_net.Addr.t;
+  mutable ttl : int;
+  mutable tos : int;
+}
+
+type value = VInt of int64 | VBytes of bytes
+
+type t = {
+  proto : Packet_view.t;                (** outgoing header *)
+  request : Packet_view.t option;       (** received header (receiver) *)
+  ip : ip_info;                         (** outgoing IP *)
+  request_ip : ip_info option;          (** received IP *)
+  params : (string, value) Hashtbl.t;   (** env params: clock, gateway ... *)
+  state : (string, int64) Hashtbl.t;    (** protocol state variables *)
+  mutable discarded : bool;
+  mutable sent_messages : string list;  (** names passed to send_packet *)
+  mutable called : string list;         (** framework procedures invoked *)
+  mutable selected_session : int64 option;
+}
+
+val create :
+  ?request:Packet_view.t ->
+  ?request_ip:ip_info ->
+  ?params:(string * value) list ->
+  ?state:(string * int64) list ->
+  proto:Packet_view.t ->
+  ip:ip_info ->
+  unit ->
+  t
+
+val ip_info :
+  ?ttl:int -> ?tos:int -> src:Sage_net.Addr.t -> dst:Sage_net.Addr.t -> unit -> ip_info
+
+val param : t -> string -> value option
+val set_param : t -> string -> value -> unit
+val state_get : t -> string -> int64
+(** Missing state variables read as 0. *)
+val state_set : t -> string -> int64 -> unit
+
+val int_of_value : value -> int64
+(** A [VBytes] coerces to its length (so conditions on byte values don't
+    crash); use [bytes_of_value] when bytes are expected. *)
+
+val bytes_of_value : value -> bytes
+(** A [VInt] coerces to its minimal big-endian encoding. *)

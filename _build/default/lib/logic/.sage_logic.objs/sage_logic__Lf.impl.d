@@ -1,0 +1,1 @@
+lib/logic/lf.ml: Buffer Fmt Int List Printf String

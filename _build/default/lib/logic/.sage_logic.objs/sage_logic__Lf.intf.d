@@ -1,0 +1,1 @@
+lib/logic/lf.mli: Format

@@ -1,0 +1,1 @@
+lib/net/bfd.ml: Bytes Bytes_util Fmt Int32 Printf Result String

@@ -1,0 +1,1 @@
+lib/net/bytes_util.ml: Buffer Bytes Char Int32 Int64 Printf String

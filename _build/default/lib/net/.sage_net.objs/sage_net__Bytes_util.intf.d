@@ -1,0 +1,1 @@
+lib/net/bytes_util.mli:

@@ -1,0 +1,1 @@
+lib/net/icmp.ml: Addr Bytes Bytes_util Checksum Fmt Ipv4 Printf

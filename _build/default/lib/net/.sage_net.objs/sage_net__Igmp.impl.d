@@ -1,0 +1,1 @@
+lib/net/igmp.ml: Addr Bytes Bytes_util Checksum Fmt Printf

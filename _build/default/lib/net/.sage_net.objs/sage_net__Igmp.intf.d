@@ -1,0 +1,1 @@
+lib/net/igmp.mli: Addr Format

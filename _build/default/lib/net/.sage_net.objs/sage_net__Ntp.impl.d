@@ -1,0 +1,1 @@
+lib/net/ntp.ml: Bytes Bytes_util Float Fmt Int64 Udp

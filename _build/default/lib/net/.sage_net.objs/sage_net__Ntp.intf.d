@@ -1,0 +1,1 @@
+lib/net/ntp.mli: Addr Format

@@ -1,0 +1,1 @@
+lib/net/pcap.ml: Bytes Bytes_util Int32 List

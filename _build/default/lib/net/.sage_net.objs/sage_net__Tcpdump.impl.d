@@ -1,0 +1,1 @@
+lib/net/tcpdump.ml: Addr Bfd Fmt Icmp Igmp Ipv4 List Ntp Pcap Result Udp

@@ -1,0 +1,1 @@
+lib/net/udp.ml: Addr Bytes Bytes_util Checksum Fmt Ipv4 Printf

@@ -1,0 +1,19 @@
+(** Big-endian (network byte order) accessors over [Bytes], the base of all
+    packet codecs.  All offsets are in bytes; out-of-range access raises
+    [Invalid_argument] like the standard library. *)
+
+val get_u8 : bytes -> int -> int
+val set_u8 : bytes -> int -> int -> unit
+val get_u16 : bytes -> int -> int
+val set_u16 : bytes -> int -> int -> unit
+val get_u32 : bytes -> int -> int32
+val set_u32 : bytes -> int -> int32 -> unit
+val get_u64 : bytes -> int -> int64
+val set_u64 : bytes -> int -> int64 -> unit
+
+val blit_string : string -> bytes -> int -> unit
+(** [blit_string src dst off] copies all of [src] into [dst] at [off]. *)
+
+val hex : ?max:int -> bytes -> string
+(** Hex dump (two hex digits per byte, space-separated), truncated to
+    [max] bytes with an ellipsis when given. *)

@@ -1,0 +1,35 @@
+let ones_complement_sum ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Checksum.ones_complement_sum: range out of bounds";
+  let sum = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + Bytes_util.get_u16 b !i;
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Bytes_util.get_u8 b !i lsl 8);
+  (* fold carries *)
+  while !sum > 0xffff do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  !sum
+
+let checksum ?off ?len b = 0xffff land lnot (ones_complement_sum ?off ?len b)
+
+let verify ?off ?len b = ones_complement_sum ?off ?len b = 0xffff
+
+let incremental_update ~old_checksum ~old_word ~new_word =
+  (* RFC 1624: HC' = ~(~HC + ~m + m') *)
+  let fold x =
+    let x = ref x in
+    while !x > 0xffff do
+      x := (!x land 0xffff) + (!x lsr 16)
+    done;
+    !x
+  in
+  let sum =
+    fold ((lnot old_checksum land 0xffff) + (lnot old_word land 0xffff) + new_word)
+  in
+  0xffff land lnot sum

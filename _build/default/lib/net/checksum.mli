@@ -1,0 +1,23 @@
+(** The Internet checksum (RFC 1071): the 16-bit one's complement of the
+    one's complement sum of the covered data.  This is the computation at
+    the center of the paper's motivating ambiguity (§2.1, Table 3): the
+    ICMP RFC specifies where the checksum {e starts} but not where it
+    {e ends}, and students produced seven different ranges. *)
+
+val ones_complement_sum : ?off:int -> ?len:int -> bytes -> int
+(** One's complement sum of the 16-bit big-endian words in
+    [bytes[off, off+len)].  An odd trailing byte is padded with a zero low
+    byte, per RFC 1071.  Result is in [0, 0xffff]. *)
+
+val checksum : ?off:int -> ?len:int -> bytes -> int
+(** [0xffff land (lnot (ones_complement_sum b))]: the value to store in a
+    checksum field (computed with that field zeroed). *)
+
+val verify : ?off:int -> ?len:int -> bytes -> bool
+(** A range containing a correct checksum sums (one's complement) to
+    [0xffff]. *)
+
+val incremental_update : old_checksum:int -> old_word:int -> new_word:int -> int
+(** RFC 1624 incremental checksum update — one of the (wrong, for echo
+    reply) student interpretations in Table 3 that the harness must be
+    able to reproduce. *)

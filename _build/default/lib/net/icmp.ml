@@ -1,0 +1,218 @@
+type message =
+  | Echo of echo
+  | Echo_reply of echo
+  | Destination_unreachable of error_payload
+  | Source_quench of error_payload
+  | Redirect of redirect
+  | Time_exceeded of error_payload
+  | Parameter_problem of param_problem
+  | Timestamp of timestamp
+  | Timestamp_reply of timestamp
+  | Information_request of info
+  | Information_reply of info
+
+and echo = { echo_code : int; identifier : int; sequence : int; payload : bytes }
+and error_payload = { err_code : int; original : bytes }
+and redirect = { red_code : int; gateway : Addr.t; red_original : bytes }
+
+and param_problem = { pp_code : int; pointer : int; pp_original : bytes }
+
+and timestamp = {
+  ts_code : int;
+  ts_identifier : int;
+  ts_sequence : int;
+  originate : int32;
+  receive : int32;
+  transmit : int32;
+}
+
+and info = { info_code : int; info_identifier : int; info_sequence : int }
+
+let type_echo_reply = 0
+let type_destination_unreachable = 3
+let type_source_quench = 4
+let type_redirect = 5
+let type_echo = 8
+let type_time_exceeded = 11
+let type_parameter_problem = 12
+let type_timestamp = 13
+let type_timestamp_reply = 14
+let type_information_request = 15
+let type_information_reply = 16
+
+let type_of = function
+  | Echo _ -> type_echo
+  | Echo_reply _ -> type_echo_reply
+  | Destination_unreachable _ -> type_destination_unreachable
+  | Source_quench _ -> type_source_quench
+  | Redirect _ -> type_redirect
+  | Time_exceeded _ -> type_time_exceeded
+  | Parameter_problem _ -> type_parameter_problem
+  | Timestamp _ -> type_timestamp
+  | Timestamp_reply _ -> type_timestamp_reply
+  | Information_request _ -> type_information_request
+  | Information_reply _ -> type_information_reply
+
+let code_of = function
+  | Echo e | Echo_reply e -> e.echo_code
+  | Destination_unreachable e | Source_quench e | Time_exceeded e -> e.err_code
+  | Redirect r -> r.red_code
+  | Parameter_problem p -> p.pp_code
+  | Timestamp t | Timestamp_reply t -> t.ts_code
+  | Information_request i | Information_reply i -> i.info_code
+
+let finalize b =
+  Bytes_util.set_u16 b 2 0;
+  Bytes_util.set_u16 b 2 (Checksum.checksum b);
+  b
+
+let encode msg =
+  let header ty code len =
+    let b = Bytes.make len '\000' in
+    Bytes_util.set_u8 b 0 ty;
+    Bytes_util.set_u8 b 1 code;
+    b
+  in
+  match msg with
+  | Echo e | Echo_reply e ->
+    let b = header (type_of msg) e.echo_code (8 + Bytes.length e.payload) in
+    Bytes_util.set_u16 b 4 e.identifier;
+    Bytes_util.set_u16 b 6 e.sequence;
+    Bytes.blit e.payload 0 b 8 (Bytes.length e.payload);
+    finalize b
+  | Destination_unreachable e | Source_quench e | Time_exceeded e ->
+    let b = header (type_of msg) e.err_code (8 + Bytes.length e.original) in
+    (* bytes 4-7 are unused, must be zero *)
+    Bytes.blit e.original 0 b 8 (Bytes.length e.original);
+    finalize b
+  | Redirect r ->
+    let b = header type_redirect r.red_code (8 + Bytes.length r.red_original) in
+    Bytes_util.set_u32 b 4 (Addr.to_int32 r.gateway);
+    Bytes.blit r.red_original 0 b 8 (Bytes.length r.red_original);
+    finalize b
+  | Parameter_problem p ->
+    let b = header type_parameter_problem p.pp_code (8 + Bytes.length p.pp_original) in
+    Bytes_util.set_u8 b 4 p.pointer;
+    (* bytes 5-7 unused *)
+    Bytes.blit p.pp_original 0 b 8 (Bytes.length p.pp_original);
+    finalize b
+  | Timestamp t | Timestamp_reply t ->
+    let b = header (type_of msg) t.ts_code 20 in
+    Bytes_util.set_u16 b 4 t.ts_identifier;
+    Bytes_util.set_u16 b 6 t.ts_sequence;
+    Bytes_util.set_u32 b 8 t.originate;
+    Bytes_util.set_u32 b 12 t.receive;
+    Bytes_util.set_u32 b 16 t.transmit;
+    finalize b
+  | Information_request i | Information_reply i ->
+    let b = header (type_of msg) i.info_code 8 in
+    Bytes_util.set_u16 b 4 i.info_identifier;
+    Bytes_util.set_u16 b 6 i.info_sequence;
+    finalize b
+
+let decode b =
+  let len = Bytes.length b in
+  if len < 8 then Error "truncated ICMP message (< 8 bytes)"
+  else
+    let ty = Bytes_util.get_u8 b 0 in
+    let code = Bytes_util.get_u8 b 1 in
+    let rest off = Bytes.sub b off (len - off) in
+    let echo () =
+      {
+        echo_code = code;
+        identifier = Bytes_util.get_u16 b 4;
+        sequence = Bytes_util.get_u16 b 6;
+        payload = rest 8;
+      }
+    in
+    let err () = { err_code = code; original = rest 8 } in
+    if ty = type_echo then Ok (Echo (echo ()))
+    else if ty = type_echo_reply then Ok (Echo_reply (echo ()))
+    else if ty = type_destination_unreachable then
+      if code > 5 then Error (Printf.sprintf "bad unreachable code %d" code)
+      else Ok (Destination_unreachable (err ()))
+    else if ty = type_source_quench then Ok (Source_quench (err ()))
+    else if ty = type_time_exceeded then
+      if code > 1 then Error (Printf.sprintf "bad time-exceeded code %d" code)
+      else Ok (Time_exceeded (err ()))
+    else if ty = type_redirect then
+      if code > 3 then Error (Printf.sprintf "bad redirect code %d" code)
+      else
+        Ok
+          (Redirect
+             {
+               red_code = code;
+               gateway = Addr.of_int32 (Bytes_util.get_u32 b 4);
+               red_original = rest 8;
+             })
+    else if ty = type_parameter_problem then
+      Ok
+        (Parameter_problem
+           { pp_code = code; pointer = Bytes_util.get_u8 b 4; pp_original = rest 8 })
+    else if ty = type_timestamp || ty = type_timestamp_reply then
+      if len < 20 then Error "truncated ICMP timestamp message"
+      else
+        let t =
+          {
+            ts_code = code;
+            ts_identifier = Bytes_util.get_u16 b 4;
+            ts_sequence = Bytes_util.get_u16 b 6;
+            originate = Bytes_util.get_u32 b 8;
+            receive = Bytes_util.get_u32 b 12;
+            transmit = Bytes_util.get_u32 b 16;
+          }
+        in
+        Ok (if ty = type_timestamp then Timestamp t else Timestamp_reply t)
+    else if ty = type_information_request || ty = type_information_reply then
+      let i =
+        {
+          info_code = code;
+          info_identifier = Bytes_util.get_u16 b 4;
+          info_sequence = Bytes_util.get_u16 b 6;
+        }
+      in
+      Ok (if ty = type_information_request then Information_request i
+          else Information_reply i)
+    else Error (Printf.sprintf "unknown ICMP type %d" ty)
+
+let checksum_ok b = Bytes.length b >= 8 && Checksum.verify b
+
+let original_datagram_excerpt dgram =
+  match Ipv4.decode dgram with
+  | Error _ ->
+    (* not parseable as IP: quote at most 28 bytes *)
+    Bytes.sub dgram 0 (min (Bytes.length dgram) 28)
+  | Ok (hdr, payload) ->
+    let hlen = Ipv4.header_len hdr in
+    let data = min 8 (Bytes.length payload) in
+    Bytes.sub dgram 0 (hlen + data)
+
+let name = function
+  | Echo _ -> "echo request"
+  | Echo_reply _ -> "echo reply"
+  | Destination_unreachable _ -> "destination unreachable"
+  | Source_quench _ -> "source quench"
+  | Redirect _ -> "redirect"
+  | Time_exceeded _ -> "time exceeded"
+  | Parameter_problem _ -> "parameter problem"
+  | Timestamp _ -> "timestamp request"
+  | Timestamp_reply _ -> "timestamp reply"
+  | Information_request _ -> "information request"
+  | Information_reply _ -> "information reply"
+
+let pp ppf msg =
+  match msg with
+  | Echo e | Echo_reply e ->
+    Fmt.pf ppf "ICMP %s, id %d, seq %d, length %d" (name msg) e.identifier
+      e.sequence (8 + Bytes.length e.payload)
+  | Timestamp t | Timestamp_reply t ->
+    Fmt.pf ppf "ICMP %s, id %d, seq %d, org %ld, rcv %ld, xmt %ld" (name msg)
+      t.ts_identifier t.ts_sequence t.originate t.receive t.transmit
+  | Information_request i | Information_reply i ->
+    Fmt.pf ppf "ICMP %s, id %d, seq %d" (name msg) i.info_identifier i.info_sequence
+  | Redirect r -> Fmt.pf ppf "ICMP %s, gateway %a" (name msg) Addr.pp r.gateway
+  | Parameter_problem p -> Fmt.pf ppf "ICMP %s, pointer %d" (name msg) p.pointer
+  | Destination_unreachable _ | Source_quench _ | Time_exceeded _ ->
+    Fmt.pf ppf "ICMP %s, code %d" (name msg) (code_of msg)
+
+let equal a b = Bytes.equal (encode a) (encode b)

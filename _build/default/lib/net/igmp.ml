@@ -1,0 +1,47 @@
+type kind = Host_membership_query | Host_membership_report
+
+type t = { version : int; kind : kind; group : Addr.t }
+
+let query = { version = 1; kind = Host_membership_query; group = Addr.any }
+let report group = { version = 1; kind = Host_membership_report; group }
+
+let kind_code = function Host_membership_query -> 1 | Host_membership_report -> 2
+
+let encode t =
+  let b = Bytes.make 8 '\000' in
+  Bytes_util.set_u8 b 0 ((t.version lsl 4) lor kind_code t.kind);
+  Bytes_util.set_u32 b 4 (Addr.to_int32 t.group);
+  Bytes_util.set_u16 b 2 (Checksum.checksum b);
+  b
+
+let decode b =
+  if Bytes.length b < 8 then Error "truncated IGMP message"
+  else
+    let version = Bytes_util.get_u8 b 0 lsr 4 in
+    let ty = Bytes_util.get_u8 b 0 land 0xf in
+    if version <> 1 then Error (Printf.sprintf "bad IGMP version %d" version)
+    else
+      let kind =
+        match ty with
+        | 1 -> Ok Host_membership_query
+        | 2 -> Ok Host_membership_report
+        | _ -> Error (Printf.sprintf "unknown IGMP type %d" ty)
+      in
+      (match kind with
+       | Error e -> Error e
+       | Ok kind ->
+         Ok { version; kind; group = Addr.of_int32 (Bytes_util.get_u32 b 4) })
+
+let checksum_ok b = Bytes.length b >= 8 && Checksum.verify ~off:0 ~len:8 b
+
+let pp ppf t =
+  let k =
+    match t.kind with
+    | Host_membership_query -> "host membership query"
+    | Host_membership_report -> "host membership report"
+  in
+  Fmt.pf ppf "IGMPv%d %s, group %a" t.version k Addr.pp t.group
+
+let equal a b = Bytes.equal (encode a) (encode b)
+
+let all_hosts_group = Addr.of_octets 224 0 0 1

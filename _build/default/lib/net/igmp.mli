@@ -1,0 +1,31 @@
+(** IGMPv1 (RFC 1112, Appendix I) — the packet format SAGE parses in §6.3:
+    4-bit version, 4-bit type, unused octet, checksum, 32-bit group
+    address. *)
+
+type kind =
+  | Host_membership_query   (** type 1 *)
+  | Host_membership_report  (** type 2 *)
+
+type t = {
+  version : int;     (** 1 *)
+  kind : kind;
+  group : Addr.t;    (** zero in a query; the group address in a report *)
+}
+
+val query : t
+(** A well-formed query: version 1, group address 0 (sent to the all-hosts
+    group at the IP layer). *)
+
+val report : Addr.t -> t
+(** A report for the given host group address. *)
+
+val encode : t -> bytes
+(** 8 bytes, checksum over the whole message. *)
+
+val decode : bytes -> (t, string) result
+val checksum_ok : bytes -> bool
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val all_hosts_group : Addr.t
+(** 224.0.0.1: the destination of membership queries. *)

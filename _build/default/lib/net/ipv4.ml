@@ -1,0 +1,210 @@
+type t = {
+  version : int;
+  ihl : int;
+  tos : int;
+  total_length : int;
+  identification : int;
+  flags : int;
+  fragment_offset : int;
+  ttl : int;
+  protocol : int;
+  header_checksum : int;
+  src : Addr.t;
+  dst : Addr.t;
+  options : bytes;
+}
+
+let protocol_icmp = 1
+let protocol_igmp = 2
+let protocol_tcp = 6
+let protocol_udp = 17
+
+let make ?(tos = 0) ?(identification = 0) ?(ttl = 64) ~protocol ~src ~dst
+    ~payload_len () =
+  {
+    version = 4;
+    ihl = 5;
+    tos;
+    total_length = 20 + payload_len;
+    identification;
+    flags = 0;
+    fragment_offset = 0;
+    ttl;
+    protocol;
+    header_checksum = 0;
+    src;
+    dst;
+    options = Bytes.empty;
+  }
+
+let header_len t = 4 * t.ihl
+
+let encode t ~payload =
+  let hlen = header_len t in
+  let b = Bytes.make (hlen + Bytes.length payload) '\000' in
+  Bytes_util.set_u8 b 0 ((t.version lsl 4) lor t.ihl);
+  Bytes_util.set_u8 b 1 t.tos;
+  Bytes_util.set_u16 b 2 t.total_length;
+  Bytes_util.set_u16 b 4 t.identification;
+  Bytes_util.set_u16 b 6 ((t.flags lsl 13) lor t.fragment_offset);
+  Bytes_util.set_u8 b 8 t.ttl;
+  Bytes_util.set_u8 b 9 t.protocol;
+  Bytes_util.set_u16 b 10 0;
+  Bytes_util.set_u32 b 12 (Addr.to_int32 t.src);
+  Bytes_util.set_u32 b 16 (Addr.to_int32 t.dst);
+  Bytes.blit t.options 0 b 20 (Bytes.length t.options);
+  Bytes_util.set_u16 b 10 (Checksum.checksum ~off:0 ~len:hlen b);
+  Bytes.blit payload 0 b hlen (Bytes.length payload);
+  b
+
+let decode b =
+  let len = Bytes.length b in
+  if len < 20 then Error "truncated IP header (< 20 bytes)"
+  else
+    let version = Bytes_util.get_u8 b 0 lsr 4 in
+    let ihl = Bytes_util.get_u8 b 0 land 0xf in
+    if version <> 4 then Error (Printf.sprintf "bad IP version %d" version)
+    else if ihl < 5 then Error (Printf.sprintf "bad IHL %d" ihl)
+    else if len < 4 * ihl then Error "truncated IP header (options)"
+    else
+      let total_length = Bytes_util.get_u16 b 2 in
+      if total_length > len then
+        Error
+          (Printf.sprintf "truncated datagram: total length %d > captured %d"
+             total_length len)
+      else if total_length < 4 * ihl then
+        Error (Printf.sprintf "total length %d < header length %d" total_length (4 * ihl))
+      else
+        let t =
+          {
+            version;
+            ihl;
+            tos = Bytes_util.get_u8 b 1;
+            total_length;
+            identification = Bytes_util.get_u16 b 4;
+            flags = Bytes_util.get_u16 b 6 lsr 13;
+            fragment_offset = Bytes_util.get_u16 b 6 land 0x1fff;
+            ttl = Bytes_util.get_u8 b 8;
+            protocol = Bytes_util.get_u8 b 9;
+            header_checksum = Bytes_util.get_u16 b 10;
+            src = Addr.of_int32 (Bytes_util.get_u32 b 12);
+            dst = Addr.of_int32 (Bytes_util.get_u32 b 16);
+            options = Bytes.sub b 20 (4 * ihl - 20);
+          }
+        in
+        let payload = Bytes.sub b (4 * ihl) (total_length - (4 * ihl)) in
+        Ok (t, payload)
+
+let checksum_ok b =
+  Bytes.length b >= 20
+  &&
+  let ihl = Bytes_util.get_u8 b 0 land 0xf in
+  Bytes.length b >= 4 * ihl && Checksum.verify ~off:0 ~len:(4 * ihl) b
+
+let pp ppf t =
+  Fmt.pf ppf "IP %a > %a: proto %d, ttl %d, tos %d, length %d" Addr.pp t.src
+    Addr.pp t.dst t.protocol t.ttl t.tos t.total_length
+
+let flag_dont_fragment = 0b010
+let flag_more_fragments = 0b001
+
+let fragment ~mtu dgram =
+  match decode dgram with
+  | Error e -> Error e
+  | Ok (hdr, payload) ->
+    if Bytes.length dgram <= mtu then Ok [ dgram ]
+    else if hdr.flags land flag_dont_fragment <> 0 then
+      Error "fragmentation needed and DF set"
+    else
+      let hlen = header_len hdr in
+      if mtu < hlen + 8 then
+        Error (Printf.sprintf "MTU %d cannot fit the header plus one fragment unit" mtu)
+      else begin
+        (* payload bytes per fragment, a multiple of 8 *)
+        let unit_bytes = (mtu - hlen) / 8 * 8 in
+        let total = Bytes.length payload in
+        let rec go off acc =
+          if off >= total then List.rev acc
+          else begin
+            let len = min unit_bytes (total - off) in
+            let last = off + len >= total in
+            (* offsets count in 8-byte units from the original datagram *)
+            let fhdr =
+              {
+                hdr with
+                total_length = hlen + len;
+                flags =
+                  (hdr.flags land lnot flag_more_fragments)
+                  lor (if last then 0 else flag_more_fragments);
+                fragment_offset = off / 8;
+              }
+            in
+            let frag = encode fhdr ~payload:(Bytes.sub payload off len) in
+            go (off + len) (frag :: acc)
+          end
+        in
+        Ok (go 0 [])
+      end
+
+let reassemble fragments =
+  match fragments with
+  | [] -> Error "no fragments"
+  | _ ->
+    let decoded = List.map decode fragments in
+    (match
+       List.find_opt (function Error _ -> true | Ok _ -> false) decoded
+     with
+     | Some (Error e) -> Error e
+     | Some (Ok _) | None ->
+       let parts =
+         List.map (function Ok p -> p | Error _ -> assert false) decoded
+       in
+       let (h0, _) = List.hd parts in
+       let same (h, _) =
+         h.identification = h0.identification
+         && Addr.equal h.src h0.src && Addr.equal h.dst h0.dst
+         && h.protocol = h0.protocol
+       in
+       if not (List.for_all same parts) then
+         Error "fragments belong to different datagrams"
+       else begin
+         let sorted =
+           List.sort
+             (fun (a, _) (b, _) -> compare a.fragment_offset b.fragment_offset)
+             parts
+         in
+         let rec splice expected acc = function
+           | [] -> Error "missing last fragment"
+           | (h, payload) :: rest ->
+             if h.fragment_offset * 8 <> expected then
+               Error
+                 (Printf.sprintf "hole before offset %d" (h.fragment_offset * 8))
+             else if h.flags land flag_more_fragments <> 0 then
+               splice (expected + Bytes.length payload) (payload :: acc) rest
+             else if rest <> [] then Error "data after the last fragment"
+             else Ok (List.rev (payload :: acc))
+         in
+         match splice 0 [] sorted with
+         | Error e -> Error e
+         | Ok payloads ->
+           let payload = Bytes.concat Bytes.empty payloads in
+           let hdr =
+             {
+               h0 with
+               total_length = header_len h0 + Bytes.length payload;
+               flags = h0.flags land lnot flag_more_fragments;
+               fragment_offset = 0;
+             }
+           in
+           Ok (encode hdr ~payload)
+       end)
+
+let equal a b =
+  a.version = b.version && a.ihl = b.ihl && a.tos = b.tos
+  && a.total_length = b.total_length
+  && a.identification = b.identification
+  && a.flags = b.flags
+  && a.fragment_offset = b.fragment_offset
+  && a.ttl = b.ttl && a.protocol = b.protocol
+  && Addr.equal a.src b.src && Addr.equal a.dst b.dst
+  && Bytes.equal a.options b.options

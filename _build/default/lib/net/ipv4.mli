@@ -1,0 +1,75 @@
+(** IPv4 header (RFC 791) encode/decode.  This is part of the {e static
+    framework} (paper §5.1): ICMP text refers to IP header fields
+    ("the source and destination addresses are simply reversed") without
+    defining them, so SAGE-generated code manipulates this substrate. *)
+
+type t = {
+  version : int;          (** 4 *)
+  ihl : int;              (** header length in 32-bit words, >= 5 *)
+  tos : int;
+  total_length : int;     (** header + payload, bytes *)
+  identification : int;
+  flags : int;            (** 3 bits *)
+  fragment_offset : int;  (** 13 bits *)
+  ttl : int;
+  protocol : int;         (** 1 = ICMP, 2 = IGMP, 17 = UDP *)
+  header_checksum : int;
+  src : Addr.t;
+  dst : Addr.t;
+  options : bytes;        (** raw options, length = 4*(ihl-5) *)
+}
+
+val protocol_icmp : int
+val protocol_igmp : int
+val protocol_udp : int
+val protocol_tcp : int
+
+val make :
+  ?tos:int -> ?identification:int -> ?ttl:int ->
+  protocol:int -> src:Addr.t -> dst:Addr.t -> payload_len:int -> unit -> t
+(** A well-formed header with computed lengths and a zero checksum (filled
+    in by [encode]). *)
+
+val header_len : t -> int
+(** Bytes: [4 * ihl]. *)
+
+val encode : t -> payload:bytes -> bytes
+(** Serialize header (checksum computed over the header) followed by
+    the payload. *)
+
+val decode : bytes -> (t * bytes, string) result
+(** Parse a datagram into header and payload.  Fails on truncation, bad
+    version, or inconsistent lengths.  Does {e not} reject a bad header
+    checksum — use [checksum_ok], so a tcpdump-style caller can warn
+    instead. *)
+
+val checksum_ok : bytes -> bool
+(** Verify the header checksum of an encoded datagram. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+(** {1 Fragmentation} (RFC 791 §3.2)
+
+    The substrate behind ICMP's fragmentation-related code points: code 4
+    ("fragmentation needed and DF set") and Time Exceeded code 1
+    ("fragment reassembly time exceeded"). *)
+
+val flag_dont_fragment : int
+(** Bit 1 of the 3-bit flags field. *)
+
+val flag_more_fragments : int
+(** Bit 2 (the lowest) of the flags field. *)
+
+val fragment : mtu:int -> bytes -> (bytes list, string) result
+(** Split an encoded datagram into fragments, each at most [mtu] bytes on
+    the wire.  Fragment payload sizes are multiples of 8 (except the
+    last); offsets and the MF flag are set per RFC 791.  Fails when the
+    DF flag is set and fragmentation would be needed, when the header
+    itself exceeds the MTU, or on an undecodable input.  A datagram that
+    already fits is returned unchanged as a single "fragment". *)
+
+val reassemble : bytes list -> (bytes, string) result
+(** Reassemble fragments (any order) of one datagram back into the
+    original.  Fails on a hole, a missing last fragment, or fragments
+    from different datagrams (mismatched id/src/dst/protocol). *)

@@ -1,0 +1,79 @@
+type record = {
+  ts_sec : int32;
+  ts_usec : int32;
+  incl_len : int;
+  orig_len : int;
+  data : bytes;
+}
+
+type capture = { snaplen : int; mutable records : record list (* reversed *) }
+
+let magic = 0xa1b2c3d4l
+let linktype_raw = 101l
+
+let create ?(snaplen = 65535) () = { snaplen; records = [] }
+
+let add_packet cap ?(ts_sec = 0l) ?(ts_usec = 0l) data =
+  let orig_len = Bytes.length data in
+  let incl_len = min orig_len cap.snaplen in
+  let data = if incl_len < orig_len then Bytes.sub data 0 incl_len else data in
+  cap.records <- { ts_sec; ts_usec; incl_len; orig_len; data } :: cap.records
+
+let packet_count cap = List.length cap.records
+
+let to_bytes cap =
+  let records = List.rev cap.records in
+  let body_len =
+    List.fold_left (fun acc r -> acc + 16 + r.incl_len) 0 records
+  in
+  let b = Bytes.make (24 + body_len) '\000' in
+  Bytes_util.set_u32 b 0 magic;
+  Bytes_util.set_u16 b 4 2;  (* version major *)
+  Bytes_util.set_u16 b 6 4;  (* version minor *)
+  (* thiszone = 0, sigfigs = 0 *)
+  Bytes_util.set_u32 b 16 (Int32.of_int cap.snaplen);
+  Bytes_util.set_u32 b 20 linktype_raw;
+  let off = ref 24 in
+  List.iter
+    (fun r ->
+      Bytes_util.set_u32 b !off r.ts_sec;
+      Bytes_util.set_u32 b (!off + 4) r.ts_usec;
+      Bytes_util.set_u32 b (!off + 8) (Int32.of_int r.incl_len);
+      Bytes_util.set_u32 b (!off + 12) (Int32.of_int r.orig_len);
+      Bytes.blit r.data 0 b (!off + 16) r.incl_len;
+      off := !off + 16 + r.incl_len)
+    records;
+  b
+
+let write_file cap path =
+  let oc = open_out_bin path in
+  (try output_bytes oc (to_bytes cap)
+   with e -> close_out_noerr oc; raise e);
+  close_out oc
+
+let of_bytes b =
+  if Bytes.length b < 24 then Error "truncated pcap global header"
+  else if not (Int32.equal (Bytes_util.get_u32 b 0) magic) then
+    Error "bad pcap magic (only big-endian 0xa1b2c3d4 supported)"
+  else
+    let rec records off acc =
+      if off = Bytes.length b then Ok (List.rev acc)
+      else if off + 16 > Bytes.length b then Error "truncated pcap record header"
+      else
+        let incl_len = Int32.to_int (Bytes_util.get_u32 b (off + 8)) in
+        let orig_len = Int32.to_int (Bytes_util.get_u32 b (off + 12)) in
+        if off + 16 + incl_len > Bytes.length b then
+          Error "truncated pcap record body"
+        else
+          let r =
+            {
+              ts_sec = Bytes_util.get_u32 b off;
+              ts_usec = Bytes_util.get_u32 b (off + 4);
+              incl_len;
+              orig_len;
+              data = Bytes.sub b (off + 16) incl_len;
+            }
+          in
+          records (off + 16 + incl_len) (r :: acc)
+    in
+    records 24 []

@@ -1,0 +1,58 @@
+type t = { src_port : int; dst_port : int; length : int; checksum : int }
+
+let make ~src_port ~dst_port ~payload_len =
+  { src_port; dst_port; length = 8 + payload_len; checksum = 0 }
+
+let pseudo_header ~src ~dst ~udp_len =
+  let b = Bytes.make 12 '\000' in
+  Bytes_util.set_u32 b 0 (Addr.to_int32 src);
+  Bytes_util.set_u32 b 4 (Addr.to_int32 dst);
+  Bytes_util.set_u8 b 9 Ipv4.protocol_udp;
+  Bytes_util.set_u16 b 10 udp_len;
+  b
+
+let checksum_with_pseudo ~src ~dst segment =
+  let ph = pseudo_header ~src ~dst ~udp_len:(Bytes.length segment) in
+  let all = Bytes.cat ph segment in
+  let c = Checksum.checksum all in
+  (* RFC 768: a computed zero checksum is transmitted as all ones *)
+  if c = 0 then 0xffff else c
+
+let encode ?src ?dst t ~payload =
+  let b = Bytes.make (8 + Bytes.length payload) '\000' in
+  Bytes_util.set_u16 b 0 t.src_port;
+  Bytes_util.set_u16 b 2 t.dst_port;
+  Bytes_util.set_u16 b 4 t.length;
+  Bytes.blit payload 0 b 8 (Bytes.length payload);
+  (match src, dst with
+   | Some src, Some dst -> Bytes_util.set_u16 b 6 (checksum_with_pseudo ~src ~dst b)
+   | _ -> ());
+  b
+
+let decode b =
+  if Bytes.length b < 8 then Error "truncated UDP header"
+  else
+    let t =
+      {
+        src_port = Bytes_util.get_u16 b 0;
+        dst_port = Bytes_util.get_u16 b 2;
+        length = Bytes_util.get_u16 b 4;
+        checksum = Bytes_util.get_u16 b 6;
+      }
+    in
+    if t.length < 8 then Error (Printf.sprintf "bad UDP length %d" t.length)
+    else if t.length > Bytes.length b then
+      Error
+        (Printf.sprintf "truncated UDP datagram: length %d > captured %d"
+           t.length (Bytes.length b))
+    else Ok (t, Bytes.sub b 8 (t.length - 8))
+
+let checksum_ok ~src ~dst b =
+  Bytes.length b >= 8
+  && (Bytes_util.get_u16 b 6 = 0
+      ||
+      let ph = pseudo_header ~src ~dst ~udp_len:(Bytes.length b) in
+      Checksum.verify (Bytes.cat ph b))
+
+let pp ppf t =
+  Fmt.pf ppf "UDP %d > %d, length %d" t.src_port t.dst_port t.length

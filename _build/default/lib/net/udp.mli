@@ -1,0 +1,24 @@
+(** UDP (RFC 768), needed for NTP-in-UDP encapsulation (paper §6.3) and
+    for traceroute probes in the simulator. *)
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  length : int;     (** header + payload, bytes *)
+  checksum : int;
+}
+
+val make : src_port:int -> dst_port:int -> payload_len:int -> t
+
+val encode : ?src:Addr.t -> ?dst:Addr.t -> t -> payload:bytes -> bytes
+(** Serialize.  When [src]/[dst] are given, the checksum is computed over
+    the RFC 768 pseudo-header; otherwise it is left zero (legal for IPv4:
+    "an all zero checksum value means the transmitter generated no
+    checksum"). *)
+
+val decode : bytes -> (t * bytes, string) result
+
+val checksum_ok : src:Addr.t -> dst:Addr.t -> bytes -> bool
+(** Verify a pseudo-header checksum; a zero checksum field is accepted. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/nlp/chunker.ml: Fmt List Pos String Term_dictionary Token Tokenizer

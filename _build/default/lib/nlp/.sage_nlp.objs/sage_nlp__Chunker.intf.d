@@ -1,0 +1,1 @@
+lib/nlp/chunker.mli: Format Term_dictionary Token

@@ -1,0 +1,1 @@
+lib/nlp/pos.ml: Hashtbl List String

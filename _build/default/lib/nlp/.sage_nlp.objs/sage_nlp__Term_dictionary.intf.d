@@ -1,0 +1,1 @@
+lib/nlp/term_dictionary.mli:

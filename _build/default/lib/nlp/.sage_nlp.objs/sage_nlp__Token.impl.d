@@ -1,0 +1,1 @@
+lib/nlp/token.ml: Fmt String

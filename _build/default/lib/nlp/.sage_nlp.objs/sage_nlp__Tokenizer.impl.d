@@ -1,0 +1,1 @@
+lib/nlp/tokenizer.ml: List String Token

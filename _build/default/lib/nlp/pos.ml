@@ -1,0 +1,73 @@
+type tag =
+  | Det | Prep | Pronoun | Aux | Verb | Adj | Adv | Conj | Noun | Unknown
+
+let table : (string, tag) Hashtbl.t = Hashtbl.create 512
+
+let register tag words = List.iter (fun w -> Hashtbl.replace table w tag) words
+
+let () =
+  register Det
+    [ "the"; "a"; "an"; "this"; "that"; "these"; "those"; "any"; "each";
+      "every"; "some"; "no"; "all"; "both"; "either"; "neither"; "such";
+      "another"; "other"; "its" ];
+  register Prep
+    [ "of"; "in"; "to"; "from"; "with"; "for"; "by"; "on"; "at"; "as";
+      "into"; "onto"; "over"; "under"; "within"; "without"; "between";
+      "among"; "through"; "during"; "before"; "after"; "until"; "per";
+      "via"; "upon"; "toward"; "towards"; "starting"; "beyond" ];
+  register Pronoun [ "it"; "they"; "them"; "itself"; "which"; "who"; "whom"; "whose" ];
+  register Aux
+    [ "is"; "are"; "was"; "were"; "be"; "been"; "being"; "am";
+      "may"; "might"; "must"; "shall"; "should"; "will"; "would";
+      "can"; "could"; "do"; "does"; "did"; "has"; "have"; "had" ];
+  register Verb
+    [ "set"; "sets"; "send"; "sends"; "sent"; "receive"; "receives";
+      "received"; "compute"; "computes"; "computed"; "recompute";
+      "recomputed"; "form"; "forms"; "formed"; "forming"; "discard";
+      "discards"; "discarded"; "select"; "selects"; "selected"; "use";
+      "uses"; "used"; "match"; "matches"; "matching"; "matched"; "aid";
+      "aids"; "identify"; "identifies"; "identified"; "reverse";
+      "reversed"; "reverses"; "change"; "changed"; "changes"; "replace";
+      "replaced"; "replaces"; "return"; "returns"; "returned"; "take";
+      "takes"; "taken"; "increment"; "incremented"; "decrement";
+      "decremented"; "transmit"; "transmits"; "transmitted"; "cease";
+      "ceases"; "exceed"; "exceeds"; "exceeded"; "detect"; "detected";
+      "detects"; "specify"; "specifies"; "specified"; "assume"; "assumed";
+      "assumes"; "begin"; "begins"; "call"; "called"; "calls"; "become";
+      "becomes"; "update"; "updated"; "updates"; "initialize";
+      "initialized"; "expire"; "expires"; "expired"; "found"; "find";
+      "associate"; "associated"; "copy"; "copied"; "insert"; "inserted";
+      "append"; "appended"; "echo"; "echoed"; "respond"; "responds";
+      "responded"; "process"; "processed"; "processes"; "increase";
+      "increased"; "decrease"; "decreased" ];
+  register Adj
+    [ "original"; "simple"; "nonzero"; "non-zero"; "first"; "last";
+      "next"; "previous"; "new"; "old"; "same"; "different"; "valid";
+      "invalid"; "correct"; "incorrect"; "higher"; "lower"; "upper";
+      "partial"; "complete"; "incomplete"; "specific"; "active";
+      "inactive"; "periodic"; "remote"; "local"; "internal"; "external";
+      "maximum"; "minimum"; "entire"; "whole"; "appropriate";
+      "unreachable"; "exceeded"; "available"; "unavailable"; "full";
+      "empty"; "current" ];
+  register Adv
+    [ "simply"; "immediately"; "only"; "also"; "then"; "thus"; "however";
+      "therefore"; "otherwise"; "instead"; "usually"; "normally";
+      "possibly"; "potentially"; "successfully"; "correctly"; "back";
+      "not"; "never"; "always" ];
+  register Conj
+    [ "and"; "or"; "but"; "if"; "when"; "where"; "while"; "whether";
+      "unless"; "because"; "since"; "so"; "than" ];
+  register Noun
+    [ "aid"; "part"; "copy"; "end"; "start"; "beginning"; "case"; "way";
+      "example"; "order"; "number"; "amount"; "kind"; "form"; "reason";
+      "result"; "purpose"; "means"; "instance"; "future"; "event" ]
+
+let tag_of_word w =
+  match Hashtbl.find_opt table (String.lowercase_ascii w) with
+  | Some t -> t
+  | None -> Unknown
+
+let is_noun_like = function Noun | Unknown -> true | _ -> false
+let is_verb w = tag_of_word w = Verb
+let is_aux w = tag_of_word w = Aux
+let is_prep w = tag_of_word w = Prep

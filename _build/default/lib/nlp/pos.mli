@@ -1,0 +1,29 @@
+(** A small part-of-speech lexicon for the closed-class and common
+    open-class English words appearing in RFC prose.  This is not a
+    statistical tagger: the chunker only needs to know determiners,
+    prepositions, pronouns, auxiliaries, and a list of common adjectives
+    and verbs, because all domain nouns come from the term dictionary. *)
+
+type tag =
+  | Det          (** the, a, an, this, any ... *)
+  | Prep         (** of, in, to, from, with, for ... *)
+  | Pronoun      (** it, its, this, these ... *)
+  | Aux          (** is, are, was, be, been, may, must, should, will, can *)
+  | Verb         (** common verbs: set, send, compute, discard ... *)
+  | Adj          (** common adjectives: original, simple, nonzero ... *)
+  | Adv          (** simply, immediately ... *)
+  | Conj         (** and, or, but, if, then, when, where, while *)
+  | Noun         (** a word known to be a common (non-domain) noun *)
+  | Unknown      (** anything else *)
+
+val tag_of_word : string -> tag
+(** Case-insensitive lookup; words not in the lexicon are [Unknown].
+    [Unknown] words are treated as nouns by the chunker (RFC text is
+    noun-heavy, and unknown capitalized tokens are usually field names). *)
+
+val is_noun_like : tag -> bool
+(** [Noun] or [Unknown]: may participate in a noun phrase. *)
+
+val is_verb : string -> bool
+val is_aux : string -> bool
+val is_prep : string -> bool

@@ -1,0 +1,18 @@
+type kind = Word | Number | Symbol | Punct | Terminator
+
+type t = { text : string; kind : kind; start : int }
+
+let v ?(start = 0) kind text = { text; kind; start }
+let lower t = String.lowercase_ascii t.text
+let is_word t = t.kind = Word
+let is_number t = t.kind = Number
+
+let pp ppf t =
+  let k =
+    match t.kind with
+    | Word -> "w" | Number -> "n" | Symbol -> "s" | Punct -> "p"
+    | Terminator -> "t"
+  in
+  Fmt.pf ppf "%s:%s" k t.text
+
+let equal a b = String.equal a.text b.text && a.kind = b.kind

@@ -1,0 +1,27 @@
+(** Tokens produced by the tokenizer and consumed by the chunker and the CCG
+    parser.  RFC text mixes ordinary English with protocol idioms
+    ("code = 0", "16-bit", "10.0.1.1/24"), so the token type distinguishes
+    words from numbers, symbols and punctuation, keeping enough surface
+    information for the lexicon to match on. *)
+
+type kind =
+  | Word        (** alphabetic word, possibly hyphenated ("one's-complement") *)
+  | Number      (** decimal integer literal *)
+  | Symbol      (** operator-like symbol: [=], [+], [/] ... *)
+  | Punct       (** sentence-internal punctuation: [,], [;], [:], parens *)
+  | Terminator  (** sentence-final punctuation: [.], [!], [?] *)
+
+type t = {
+  text : string;  (** the surface text, case preserved *)
+  kind : kind;
+  start : int;    (** byte offset of the first character in the source *)
+}
+
+val v : ?start:int -> kind -> string -> t
+val lower : t -> string
+(** Lower-cased surface text; the lexicon is case-insensitive. *)
+
+val is_word : t -> bool
+val is_number : t -> bool
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

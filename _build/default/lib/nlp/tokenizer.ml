@@ -1,0 +1,148 @@
+let abbreviations =
+  [ "e.g."; "i.e."; "etc."; "cf."; "vs."; "viz."; "fig."; "sec."; "no." ]
+
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+let is_word_start c = is_alpha c || c = '_'
+
+(* A word may continue with letters, digits, underscores, and with the
+   joiners '-', '\'' and '.' when they are followed by another word
+   character ("time-to-live", "one's", "bfd.SessionState").  A bare '.' at
+   the end of a word is sentence punctuation, not part of the word. *)
+let word_continues s i =
+  let n = String.length s in
+  if i >= n then false
+  else
+    let c = s.[i] in
+    if is_alpha c || is_digit c || c = '_' then true
+    else if (c = '-' || c = '\'' || c = '.') && i + 1 < n then
+      let d = s.[i + 1] in
+      is_alpha d || is_digit d || d = '_'
+    else false
+
+let tokenize sentence =
+  let n = String.length sentence in
+  let out = ref [] in
+  let emit kind start stop =
+    out := Token.v ~start kind (String.sub sentence start (stop - start)) :: !out
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = sentence.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if is_word_start c then begin
+        let j = ref (i + 1) in
+        while word_continues sentence !j do incr j done;
+        emit Token.Word i !j;
+        go !j
+      end
+      else if is_digit c then begin
+        (* numbers: plain integers; dotted/slashed forms like 10.0.1.1/24
+           stay one token so addresses survive. *)
+        let j = ref (i + 1) in
+        while
+          !j < n
+          && (is_digit sentence.[!j]
+              || ((sentence.[!j] = '.' || sentence.[!j] = '/')
+                  && !j + 1 < n
+                  && is_digit sentence.[!j + 1]))
+        do
+          incr j
+        done;
+        (* "16-bit" style: keep the hyphenated unit with the number *)
+        if !j + 1 < n && sentence.[!j] = '-' && is_alpha sentence.[!j + 1] then begin
+          incr j;
+          while word_continues sentence !j do incr j done
+        end;
+        let text = String.sub sentence i (!j - i) in
+        let kind =
+          if String.for_all is_digit text then Token.Number else Token.Word
+        in
+        emit kind i !j;
+        ignore text;
+        go !j
+      end
+      else begin
+        let kind =
+          match c with
+          | '.' | '!' | '?' -> Token.Terminator
+          | ',' | ';' | ':' | '(' | ')' | '[' | ']' | '"' | '\'' -> Token.Punct
+          | _ -> Token.Symbol
+        in
+        emit kind i (i + 1);
+        go (i + 1)
+      end
+  in
+  go 0;
+  List.rev !out
+
+let ends_with_abbreviation text upto =
+  List.exists
+    (fun abbr ->
+      let la = String.length abbr in
+      upto + 1 >= la
+      && String.lowercase_ascii (String.sub text (upto + 1 - la) la) = abbr)
+    abbreviations
+
+let sentences prose =
+  (* Normalize line breaks: blank lines are hard breaks, single newlines are
+     spaces. *)
+  let paragraphs =
+    String.split_on_char '\n' prose
+    |> List.map String.trim
+    |> List.fold_left
+         (fun (paras, cur) line ->
+           if line = "" then
+             if cur = "" then (paras, "") else (cur :: paras, "")
+           else if cur = "" then (paras, line)
+           else (paras, cur ^ " " ^ line))
+         ([], "")
+    |> fun (paras, cur) -> List.rev (if cur = "" then paras else cur :: paras)
+  in
+  let split_paragraph text =
+    let n = String.length text in
+    let out = ref [] in
+    let start = ref 0 in
+    let flush stop =
+      let s = String.trim (String.sub text !start (stop - !start)) in
+      if s <> "" then out := s :: !out;
+      start := stop
+    in
+    let rec go i =
+      if i >= n then flush n
+      else
+        let c = text.[i] in
+        if c = '.' || c = '!' || c = '?' then begin
+          let is_break =
+            c <> '.'
+            || (let followed_by_space_or_end =
+                  i + 1 >= n || text.[i + 1] = ' '
+                in
+                let inside_number =
+                  i > 0 && i + 1 < n && is_digit text.[i - 1] && is_digit text.[i + 1]
+                in
+                let inside_identifier =
+                  i + 1 < n && (is_alpha text.[i + 1] || text.[i + 1] = '_')
+                in
+                followed_by_space_or_end && (not inside_number)
+                && (not inside_identifier)
+                && not (ends_with_abbreviation text i))
+          in
+          if is_break then begin
+            flush (i + 1);
+            go (i + 1)
+          end
+          else go (i + 1)
+        end
+        else go (i + 1)
+    in
+    go 0;
+    List.rev !out
+  in
+  List.concat_map split_paragraph paragraphs
+
+let words s =
+  tokenize s
+  |> List.filter (fun t -> Token.is_word t || Token.is_number t)
+  |> List.map Token.lower

@@ -1,0 +1,24 @@
+(** Tokenizer and sentence splitter for RFC prose.
+
+    RFC sentences contain constructs that a naive English tokenizer breaks:
+    ["code = 0"], ["16-bit one's complement"], dotted field names
+    (["bfd.SessionState"]), IP addresses with prefixes (["10.0.1.1/24"]),
+    and abbreviations (["e.g."], ["i.e."]) whose periods must not end a
+    sentence.  The rules here were derived from the corpora in
+    [lib/corpus]. *)
+
+val tokenize : string -> Token.t list
+(** Split a single sentence (or fragment) into tokens.  Hyphenated words
+    ("time-to-live"), apostrophes ("one's"), dotted identifiers
+    ("bfd.SessionState") and decimal numbers are kept as single tokens.
+    Whitespace is dropped. *)
+
+val sentences : string -> string list
+(** Split running prose into sentences.  Periods inside known abbreviations,
+    inside dotted identifiers and inside numbers do not end sentences.
+    Newlines are treated as spaces; blank lines force a sentence break
+    (RFC paragraphs never continue a sentence across a blank line). *)
+
+val words : string -> string list
+(** [words s] is the lower-cased word/number texts of [tokenize s]; a
+    convenience used by dictionary matching. *)

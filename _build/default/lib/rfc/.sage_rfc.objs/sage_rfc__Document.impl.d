@@ -1,0 +1,1 @@
+lib/rfc/document.ml: Fmt Header_diagram List Sage_nlp String

@@ -1,0 +1,1 @@
+lib/rfc/document.mli: Format Header_diagram

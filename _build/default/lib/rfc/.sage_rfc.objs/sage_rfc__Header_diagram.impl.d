@@ -1,0 +1,1 @@
+lib/rfc/header_diagram.ml: Buffer Char Fmt List Printf String

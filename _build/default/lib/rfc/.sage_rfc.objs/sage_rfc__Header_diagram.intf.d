@@ -1,0 +1,1 @@
+lib/rfc/header_diagram.mli: Format

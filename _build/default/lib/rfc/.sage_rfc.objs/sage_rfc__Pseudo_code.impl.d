@@ -1,0 +1,1 @@
+lib/rfc/pseudo_code.ml: Fmt List Option Printf Result Sage_logic String

@@ -1,0 +1,1 @@
+lib/rfc/pseudo_code.mli: Format Sage_logic

@@ -1,0 +1,1 @@
+lib/rfc/state_diagram.ml: Array Buffer Fmt Fun List Sage_logic String

@@ -1,0 +1,1 @@
+lib/rfc/state_diagram.mli: Format Sage_logic

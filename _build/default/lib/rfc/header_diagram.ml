@@ -1,0 +1,158 @@
+type field = { name : string; bits : int; bit_offset : int; variable : bool }
+
+type t = { struct_name : string; fields : field list }
+
+let is_separator line =
+  let line = String.trim line in
+  String.length line > 0
+  && String.for_all (fun c -> c = '+' || c = '-' || c = ' ') line
+  && String.contains line '+'
+
+let is_content line =
+  let line = String.trim line in
+  (* a closed row "| ... |" or an open-ended trailing-data row "| Data ..." *)
+  String.length line > 1 && line.[0] = '|'
+
+let is_ruler line =
+  let line = String.trim line in
+  String.length line > 0
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = ' ') line
+
+(* Split a content row "|  Type  |  Code  |  Checksum  |" into
+   (label, width_in_bits) cells.  Bit width = character span / 2, because
+   the art gives each bit two columns ("-+"). *)
+let parse_row line =
+  let line = String.trim line in
+  let n = String.length line in
+  let cells = ref [] in
+  let start = ref 1 in
+  for i = 1 to n - 1 do
+    if line.[i] = '|' then begin
+      let content = String.sub line !start (i - !start) in
+      let span = i - !start + 1 in
+      cells := (String.trim content, span / 2) :: !cells;
+      start := i + 1
+    end
+  done;
+  (* an open-ended trailing cell ("|  Data ...") is a variable-length
+     field with no fixed width *)
+  if !start < n then begin
+    let content = String.trim (String.sub line !start (n - !start)) in
+    if content <> "" then cells := (content, 0) :: !cells
+  end;
+  List.rev !cells
+
+let looks_variable label =
+  let low = String.lowercase_ascii label in
+  let contains needle =
+    let ln = String.length needle and ll = String.length low in
+    let rec go i = i + ln <= ll && (String.sub low i ln = needle || go (i + 1)) in
+    go 0
+  in
+  contains "data" || contains "..." || contains "etc"
+
+let c_identifier label =
+  let b = Buffer.create (String.length label) in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then Buffer.add_char b c
+      else if c >= 'A' && c <= 'Z' then Buffer.add_char b (Char.lowercase_ascii c)
+      else if c = ' ' || c = '-' || c = '_' || c = '.' then Buffer.add_char b '_'
+      else ())
+    label;
+  (* collapse runs of underscores and trim *)
+  let s = Buffer.contents b in
+  let out = Buffer.create (String.length s) in
+  let prev_underscore = ref true in
+  String.iter
+    (fun c ->
+      if c = '_' then begin
+        if not !prev_underscore then Buffer.add_char out '_';
+        prev_underscore := true
+      end
+      else begin
+        Buffer.add_char out c;
+        prev_underscore := false
+      end)
+    s;
+  let s = Buffer.contents out in
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = '_' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  if s = "" then "field" else s
+
+let parse ~name text =
+  let lines = String.split_on_char '\n' text in
+  let rows =
+    List.filter_map
+      (fun line ->
+        if is_content line && not (is_ruler line) then Some (parse_row line)
+        else None)
+      lines
+  in
+  if rows = [] then Error "no diagram content rows found"
+  else begin
+    (* flatten rows into a field sequence with bit offsets; merge
+       consecutive rows that repeat the same single label (64-bit fields
+       drawn across two rows, or continuation rows labeled "+") *)
+    let fields = ref [] in
+    let offset = ref 0 in
+    let push name bits =
+      (match !fields with
+       | prev :: rest
+         when String.equal (String.lowercase_ascii prev.name) (String.lowercase_ascii name)
+              && not prev.variable ->
+         fields := { prev with bits = prev.bits + bits } :: rest
+       | _ ->
+         fields :=
+           { name; bits; bit_offset = !offset; variable = looks_variable name }
+           :: !fields);
+      offset := !offset + bits
+    in
+    List.iter (fun cells -> List.iter (fun (label, bits) -> push label bits) cells) rows;
+    let fields = List.rev !fields in
+    if fields = [] then Error "diagram rows contained no cells"
+    else Ok { struct_name = name; fields }
+  end
+
+let total_bits t =
+  List.fold_left (fun acc f -> if f.variable then acc else acc + f.bits) 0 t.fields
+
+let find_field t name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun f -> String.lowercase_ascii f.name = target) t.fields
+
+let c_type_of_bits bits =
+  if bits <= 8 then "uint8_t"
+  else if bits <= 16 then "uint16_t"
+  else if bits <= 32 then "uint32_t"
+  else "uint64_t"
+
+let to_c_struct t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "struct %s {\n" (c_identifier t.struct_name));
+  List.iter
+    (fun f ->
+      let ident = c_identifier f.name in
+      if f.variable then
+        Buffer.add_string buf (Printf.sprintf "    uint8_t %s[];\n" ident)
+      else if f.bits mod 8 = 0 && (f.bits <= 32 || f.bits = 64) then
+        Buffer.add_string buf
+          (Printf.sprintf "    %s %s;\n" (c_type_of_bits f.bits) ident)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "    %s %s : %d;\n" (c_type_of_bits f.bits) ident f.bits))
+    t.fields;
+  Buffer.add_string buf "};";
+  Buffer.contents buf
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>struct %s:@," t.struct_name;
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "  %-28s %s@," f.name
+        (if f.variable then "variable" else Printf.sprintf "%d bits @ %d" f.bits f.bit_offset))
+    t.fields;
+  Fmt.pf ppf "@]"

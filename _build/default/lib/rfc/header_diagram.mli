@@ -1,0 +1,58 @@
+(** ASCII-art packet header diagrams (paper §3, "extracting structural and
+    non-textual elements").  RFCs draw headers as
+
+    {v
+     0                   1                   2                   3
+     0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+    |     Type      |     Code      |          Checksum             |
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+    v}
+
+    where each bit occupies two character columns.  The parser recovers
+    field names and bit widths and emits a C struct for code generation. *)
+
+type field = {
+  name : string;        (** as written, e.g. "Type" *)
+  bits : int;           (** width in bits; rows are 32 bits wide *)
+  bit_offset : int;     (** offset from the start of the header, in bits *)
+  variable : bool;      (** a trailing data field of unspecified length *)
+}
+
+type t = { struct_name : string; fields : field list }
+
+val parse : name:string -> string -> (t, string) result
+(** Parse the diagram text (the art lines, possibly with the bit-ruler
+    lines above).  Fields spanning several 32-bit rows (e.g. 64-bit
+    timestamps drawn across two rows with the same label, or a full-row
+    label repeated) are merged when consecutive rows carry the same
+    label.  A final row whose label mentions "data" or "..." parses as a
+    variable-length field. *)
+
+val total_bits : t -> int
+(** Sum of fixed-width field bits. *)
+
+val find_field : t -> string -> field option
+(** Case-insensitive lookup by name. *)
+
+val to_c_struct : t -> string
+(** Render as a C struct with [uint8_t]/[uint16_t]/[uint32_t]/[uint64_t]
+    members and bitfields for sub-byte members, the way SAGE's code
+    generator declares packet headers. *)
+
+val c_identifier : string -> string
+(** Normalize a field label into a C identifier ("Sequence Number" →
+    ["sequence_number"]). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Line classifiers} (shared with the document pre-processor) *)
+
+val is_separator : string -> bool
+(** A [+-+-+] row. *)
+
+val is_content : string -> bool
+(** A [| ... |] row. *)
+
+val is_ruler : string -> bool
+(** A bit-number ruler row (digits and spaces only). *)

@@ -1,0 +1,208 @@
+module Lf = Sage_logic.Lf
+
+type procedure = { proc_name : string; body : Lf.t list }
+
+(* ------------------------------------------------------------------ *)
+(* Lexing: identifiers (with dots and dashes), integers, operators.    *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Op of string   (* := = <> < > <= >= ( ) ; *)
+  | Kw of string   (* begin end if then call and or *)
+
+let keywords = [ "begin"; "end"; "if"; "then"; "call"; "and"; "or" ]
+
+let lex input =
+  let n = String.length input in
+  let toks = ref [] in
+  let i = ref 0 in
+  let error msg = Error (Printf.sprintf "%s at offset %d" msg !i) in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '.' || c = '-' || c = '_'
+  in
+  let rec go () =
+    if !i >= n then Ok (List.rev !toks)
+    else
+      let c = input.[!i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then begin incr i; go () end
+      else if c >= '0' && c <= '9' then begin
+        let start = !i in
+        while !i < n && input.[!i] >= '0' && input.[!i] <= '9' do incr i done;
+        (* an identifier may start with a digit only if followed by ident
+           chars that are not digits — not used in practice; treat as int *)
+        toks := Int (int_of_string (String.sub input start (!i - start))) :: !toks;
+        go ()
+      end
+      else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then begin
+        let start = !i in
+        while !i < n && is_ident_char input.[!i] do incr i done;
+        let word = String.sub input start (!i - start) in
+        let lower = String.lowercase_ascii word in
+        toks :=
+          (if List.mem lower keywords then Kw lower else Ident word) :: !toks;
+        go ()
+      end
+      else if c = ':' && !i + 1 < n && input.[!i + 1] = '=' then begin
+        i := !i + 2;
+        toks := Op ":=" :: !toks;
+        go ()
+      end
+      else if c = '<' && !i + 1 < n && input.[!i + 1] = '>' then begin
+        i := !i + 2;
+        toks := Op "<>" :: !toks;
+        go ()
+      end
+      else if (c = '<' || c = '>') && !i + 1 < n && input.[!i + 1] = '=' then begin
+        let op = String.make 1 c ^ "=" in
+        i := !i + 2;
+        toks := Op op :: !toks;
+        go ()
+      end
+      else if c = '=' || c = '<' || c = '>' || c = '(' || c = ')' || c = ';' then begin
+        incr i;
+        toks := Op (String.make 1 c) :: !toks;
+        go ()
+      end
+      else error (Printf.sprintf "unexpected character %C" c)
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let op_to_cmp = function
+  | "=" -> Some "eq"
+  | "<>" -> Some "ne"
+  | "<" -> Some "lt"
+  | ">" -> Some "gt"
+  | "<=" -> Some "le"
+  | ">=" -> Some "ge"
+  | _ -> None
+
+(* drop a "-procedure" suffix from call targets so context resolution can
+   match "transmit-procedure" against "transmit procedure" *)
+let normalize_proc_name name =
+  String.map (fun c -> if c = '-' then ' ' else c) name
+
+let parse input =
+  match lex input with
+  | Error e -> Error e
+  | Ok tokens ->
+    let toks = ref tokens in
+    let peek () = match !toks with t :: _ -> Some t | [] -> None in
+    let advance () = match !toks with _ :: rest -> toks := rest | [] -> () in
+    let expect t msg =
+      match peek () with
+      | Some t' when t' = t -> advance (); Ok ()
+      | _ -> Error msg
+    in
+    let parse_atom () =
+      match peek () with
+      | Some (Ident x) -> advance (); Ok (Lf.Term x)
+      | Some (Int n) -> advance (); Ok (Lf.Num n)
+      | _ -> Error "expected an identifier or integer"
+    in
+    let parse_comparison () =
+      match parse_atom () with
+      | Error e -> Error e
+      | Ok lhs ->
+        (match peek () with
+         | Some (Op op) when op_to_cmp op <> None ->
+           let cmp = Option.get (op_to_cmp op) in
+           advance ();
+           (match parse_atom () with
+            | Error e -> Error e
+            | Ok rhs -> Ok (Lf.pred Lf.p_cmp [ Lf.term cmp; lhs; rhs ]))
+         | _ ->
+           (* a bare identifier as a condition reads as "<> 0" *)
+           Ok (Lf.pred Lf.p_cmp [ Lf.term "ne"; lhs; Lf.num 0 ]))
+    in
+    let rec parse_condition () =
+      match parse_comparison () with
+      | Error e -> Error e
+      | Ok left ->
+        (match peek () with
+         | Some (Kw "and") ->
+           advance ();
+           Result.map (fun right -> Lf.and_ left right) (parse_condition ())
+         | Some (Kw "or") ->
+           advance ();
+           Result.map (fun right -> Lf.or_ left right) (parse_condition ())
+         | _ -> Ok left)
+    in
+    let rec parse_statement () =
+      match peek () with
+      | Some (Kw "if") ->
+        advance ();
+        Result.bind (expect (Op "(") "expected '(' after if") (fun () ->
+            Result.bind (parse_condition ()) (fun cond ->
+                Result.bind (expect (Op ")") "expected ')'") (fun () ->
+                    Result.bind (expect (Kw "then") "expected 'then'")
+                      (fun () ->
+                        Result.map
+                          (fun body -> Lf.if_ cond body)
+                          (parse_statement ())))))
+      | Some (Kw "call") ->
+        advance ();
+        (match peek () with
+         | Some (Ident f) ->
+           advance ();
+           ignore (expect (Op ";") "");
+           Ok (Lf.pred Lf.p_call [ Lf.term (normalize_proc_name f) ])
+         | _ -> Error "expected a procedure name after call")
+      | Some (Kw "begin") ->
+        advance ();
+        (* anonymous nested block *)
+        Result.map
+          (fun stmts -> Lf.pred Lf.p_seq stmts)
+          (parse_block_body ())
+      | Some (Ident x) ->
+        advance ();
+        Result.bind (expect (Op ":=") "expected ':='") (fun () ->
+            Result.bind (parse_atom ()) (fun rhs ->
+                ignore (expect (Op ";") "");
+                Ok (Lf.pred Lf.p_set [ Lf.term x; rhs ])))
+      | _ -> Error "expected a statement"
+    and parse_block_body () =
+      let rec go acc =
+        match peek () with
+        | Some (Kw "end") -> advance (); Ok (List.rev acc)
+        | None -> Error "missing 'end'"
+        | _ ->
+          (match parse_statement () with
+           | Error e -> Error e
+           | Ok stmt -> go (stmt :: acc))
+      in
+      go []
+    in
+    (match peek () with
+     | Some (Kw "begin") ->
+       advance ();
+       let proc_name =
+         match peek () with
+         | Some (Ident name) ->
+           advance ();
+           normalize_proc_name name
+         | _ -> "procedure"
+       in
+       Result.bind (parse_block_body ()) (fun body ->
+           match peek () with
+           | None -> Ok { proc_name; body }
+           | Some _ -> Error "trailing tokens after 'end'")
+     | _ -> Error "pseudo-code must start with 'begin'")
+
+let is_pseudo_code lines =
+  match List.find_opt (fun l -> String.trim l <> "") lines with
+  | Some first ->
+    let t = String.trim first in
+    String.length t >= 5 && String.lowercase_ascii (String.sub t 0 5) = "begin"
+  | None -> false
+
+let pp ppf p =
+  Fmt.pf ppf "@[<v>procedure %s:@," p.proc_name;
+  List.iter (fun lf -> Fmt.pf ppf "  %a@," Sage_logic.Lf.pp lf) p.body;
+  Fmt.pf ppf "@]"

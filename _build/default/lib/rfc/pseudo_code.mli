@@ -1,0 +1,37 @@
+(** Pseudo-code blocks (paper §3: "Some RFCs also contain pseudo-code,
+    which we represent as logical forms to facilitate code generation";
+    Table 1 lists pseudo-code as fully supported).
+
+    RFC pseudo-code (e.g. NTP's procedures) uses a small imperative
+    idiom:
+
+    {v
+    begin timeout-procedure
+        if (peer.timer = 0) then call transmit-procedure;
+        peer.timer := peer.hostpoll;
+    end
+    v}
+
+    The parser turns each statement into the same logical forms the CCG
+    parser produces for prose ([@Set], [@Call], [@If], [@Cmp]), so the
+    code generator needs no special case. *)
+
+type procedure = {
+  proc_name : string;          (** from the [begin <name>] line *)
+  body : Sage_logic.Lf.t list; (** one LF per statement, in order *)
+}
+
+val parse : string -> (procedure, string) result
+(** Parse one [begin ... end] block.  Supported statements:
+    - assignment:  [x := e;]
+    - call:        [call f;]  /  [call f-procedure;]
+    - conditional: [if (cond) then <statement>]
+    - conditions:  [=], [<>], [<], [>], [<=], [>=] over identifiers and
+      integer literals, combined with [and] / [or].
+    Statements end with [;]; nesting is via [begin ... end] sub-blocks. *)
+
+val is_pseudo_code : string list -> bool
+(** Heuristic used by the document pre-processor: a content block is
+    pseudo-code when its first non-blank line starts with [begin]. *)
+
+val pp : Format.formatter -> procedure -> unit

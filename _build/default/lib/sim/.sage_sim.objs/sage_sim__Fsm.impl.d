@@ -1,0 +1,1 @@
+lib/sim/fsm.ml: Fmt Generated_stack Int64 List Option Result Sage_net

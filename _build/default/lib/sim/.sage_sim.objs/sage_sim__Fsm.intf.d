@@ -1,0 +1,1 @@
+lib/sim/fsm.mli: Format Generated_stack

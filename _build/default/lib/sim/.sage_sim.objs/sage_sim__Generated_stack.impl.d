@@ -1,0 +1,1 @@
+lib/sim/generated_stack.ml: Bytes Hashtbl Int64 List Printf Result Sage Sage_interp Sage_net String

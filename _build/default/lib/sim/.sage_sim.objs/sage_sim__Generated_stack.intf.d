@@ -1,0 +1,1 @@
+lib/sim/generated_stack.mli: Sage Sage_codegen Sage_interp Sage_net

@@ -1,0 +1,1 @@
+lib/sim/icmp_service.ml: Bytes Char Generated_stack Int64 Result Sage_interp Sage_net

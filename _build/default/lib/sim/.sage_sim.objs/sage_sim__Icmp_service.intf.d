@@ -1,0 +1,1 @@
+lib/sim/icmp_service.mli: Generated_stack Sage_net

@@ -1,0 +1,1 @@
+lib/sim/igmp_switch.ml: Bytes List Sage_net

@@ -1,0 +1,1 @@
+lib/sim/igmp_switch.mli: Sage_net

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Bytes Icmp_service List Option Sage_net

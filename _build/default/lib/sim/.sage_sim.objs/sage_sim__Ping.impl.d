@@ -1,0 +1,1 @@
+lib/sim/ping.ml: Bytes Int64 List Network Printf Sage_net

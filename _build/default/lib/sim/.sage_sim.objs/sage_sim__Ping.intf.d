@@ -1,0 +1,1 @@
+lib/sim/ping.mli: Network Sage_net

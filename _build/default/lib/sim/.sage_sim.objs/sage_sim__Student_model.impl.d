@@ -1,0 +1,1 @@
+lib/sim/student_model.ml: Bytes Icmp_service List Printf Sage_net

@@ -1,0 +1,1 @@
+lib/sim/student_model.mli: Icmp_service

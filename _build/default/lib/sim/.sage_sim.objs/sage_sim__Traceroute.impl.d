@@ -1,0 +1,1 @@
+lib/sim/traceroute.ml: Bytes List Network Sage_net

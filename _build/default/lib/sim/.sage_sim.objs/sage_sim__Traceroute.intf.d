@@ -1,0 +1,1 @@
+lib/sim/traceroute.mli: Network Sage_net

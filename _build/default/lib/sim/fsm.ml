@@ -1,0 +1,78 @@
+module Bfd = Sage_net.Bfd
+
+type transition = {
+  from_state : int64;
+  input : int64;
+  to_state : int64;
+  discarded : bool;
+}
+
+type t = { variable : string; states : int64 list; transitions : transition list }
+
+let extract ~stack ~fn ~variable ~states ~make_packet ~base_state =
+  let rec go acc = function
+    | [] -> Ok { variable; states = List.map fst states; transitions = List.rev acc }
+    | ((from_state, _), (input, _)) :: rest ->
+      (match
+         Generated_stack.run_state_update ~state:(base_state from_state) stack
+           ~fn ~packet:(make_packet input)
+       with
+       | Error e -> Error e
+       | Ok (bindings, discarded) ->
+         let to_state =
+           if discarded then from_state
+           else Option.value ~default:from_state (List.assoc_opt variable bindings)
+         in
+         go ({ from_state; input; to_state; discarded } :: acc) rest)
+  in
+  go []
+    (List.concat_map (fun s -> List.map (fun i -> (s, i)) states) states)
+
+let bfd_states =
+  [ (1L, "Down"); (2L, "Init"); (3L, "Up") ]
+
+let bfd_machine stack =
+  let make_packet input =
+    let state = Result.get_ok (Bfd.state_of_code (Int64.to_int input)) in
+    Bfd.encode
+      { Bfd.default_packet with
+        Bfd.my_discriminator = 9l; your_discriminator = 7l; state }
+  in
+  let base_state s =
+    [ ("bfd.SessionState", s); ("bfd.LocalDiscr", 7L); ("bfd.PeriodicTx", 1L) ]
+  in
+  extract ~stack ~fn:"bfd_reception_of_bfd_control_packets_sender"
+    ~variable:"bfd.SessionState" ~states:bfd_states ~make_packet ~base_state
+
+let pp ~state_name ppf t =
+  Fmt.pf ppf "@[<v>state machine over %s:@," t.variable;
+  Fmt.pf ppf "  %-12s" "state \\ in";
+  List.iter (fun s -> Fmt.pf ppf "%-12s" (state_name s)) t.states;
+  Fmt.pf ppf "@,";
+  List.iter
+    (fun from_state ->
+      Fmt.pf ppf "  %-12s" (state_name from_state);
+      List.iter
+        (fun input ->
+          match
+            List.find_opt
+              (fun tr -> tr.from_state = from_state && tr.input = input)
+              t.transitions
+          with
+          | Some tr ->
+            Fmt.pf ppf "%-12s"
+              (if tr.discarded then "(discard)" else state_name tr.to_state)
+          | None -> Fmt.pf ppf "%-12s" "?")
+        t.states;
+      Fmt.pf ppf "@,")
+    t.states;
+  Fmt.pf ppf "@]"
+
+let agrees_with t ~reference =
+  List.filter_map
+    (fun tr ->
+      match reference tr.from_state tr.input with
+      | Some expected when Int64.equal expected tr.to_state -> None
+      | None when tr.discarded -> None
+      | _ -> Some (tr.from_state, tr.input))
+    t.transitions

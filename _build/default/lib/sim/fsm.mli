@@ -1,0 +1,49 @@
+(** Recovering a finite state machine from generated state-management
+    code (paper §6.4: BFD's "3-state machine").
+
+    Given a generated reception procedure and the state variable it
+    manages, [extract] drives the interpreter over every (local state ×
+    remote state) combination and records the resulting transitions —
+    turning the generated imperative code back into the state machine the
+    RFC describes, so it can be printed and compared against the
+    reference implementation. *)
+
+type transition = {
+  from_state : int64;
+  input : int64;        (** the remote state carried by the packet *)
+  to_state : int64;
+  discarded : bool;
+}
+
+type t = {
+  variable : string;     (** e.g. "bfd.SessionState" *)
+  states : int64 list;
+  transitions : transition list;
+}
+
+val extract :
+  stack:Generated_stack.t ->
+  fn:string ->
+  variable:string ->
+  states:(int64 * string) list ->
+  make_packet:(int64 -> bytes) ->
+  base_state:(int64 -> (string * int64) list) ->
+  (t, string) result
+(** [extract ~stack ~fn ~variable ~states ~make_packet ~base_state] runs
+    the generated function [fn] from every state in [states] against a
+    packet carrying every input state, reading [variable] back.
+    [make_packet input] builds the stimulus; [base_state s] the initial
+    state bindings. *)
+
+val bfd_machine : Generated_stack.t -> (t, string) result
+(** The BFD session state machine recovered from
+    [bfd_reception_of_bfd_control_packets_sender]. *)
+
+val pp : state_name:(int64 -> string) -> Format.formatter -> t -> unit
+(** Render as a transition table. *)
+
+val agrees_with :
+  t -> reference:(int64 -> int64 -> int64 option) -> (int64 * int64) list
+(** Transitions where the extracted machine disagrees with a reference
+    function [reference from_state input] (None = reference discards);
+    empty list = full agreement. *)

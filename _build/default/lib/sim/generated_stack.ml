@@ -1,0 +1,158 @@
+module Rt = Sage_interp.Runtime
+module Pv = Sage_interp.Packet_view
+module Exec = Sage_interp.Exec
+module Addr = Sage_net.Addr
+module Ipv4 = Sage_net.Ipv4
+
+type t = { run : Sage.Pipeline.run }
+
+type env_value = Rt.value
+
+let of_run run = { run }
+
+let functions t = t.run.Sage.Pipeline.codegen.Sage.Pipeline.functions
+
+let protocol_number t =
+  match String.lowercase_ascii t.run.Sage.Pipeline.spec.Sage.Pipeline.protocol with
+  | "icmp" -> Ipv4.protocol_icmp
+  | "igmp" -> Ipv4.protocol_igmp
+  | _ -> Ipv4.protocol_udp
+
+let find_function t fn =
+  match Sage.Pipeline.find_function t.run fn with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "no generated function %S" fn)
+
+let struct_for t fn =
+  match
+    List.assoc_opt fn
+      t.run.Sage.Pipeline.codegen.Sage.Pipeline.struct_of_function
+  with
+  | Some sd -> Ok sd
+  | None -> Error (Printf.sprintf "no header layout for function %S" fn)
+
+let default_clock = 43_200_000L (* milliseconds since midnight UT: noon *)
+
+let base_params =
+  [ ("current_time", Rt.VInt default_clock) ]
+
+let exec_catching rt f =
+  match Exec.run_func rt f with
+  | () -> Ok ()
+  | exception Exec.Runtime_error e -> Error e
+
+let build_message ?(params = []) ?(data = Bytes.empty) ~src ~dst t ~fn =
+  Result.bind (find_function t fn) (fun f ->
+      Result.bind (struct_for t fn) (fun sd ->
+          let proto = Pv.create sd in
+          Pv.set_data proto data;
+          let ip = Rt.ip_info ~src ~dst () in
+          let rt = Rt.create ~params:(base_params @ params) ~proto ~ip () in
+          Result.map
+            (fun () ->
+              let payload = Pv.serialize proto in
+              let hdr =
+                Ipv4.make ~protocol:(protocol_number t) ~src:rt.Rt.ip.Rt.src
+                  ~dst:rt.Rt.ip.Rt.dst ~payload_len:(Bytes.length payload) ()
+              in
+              Ipv4.encode hdr ~payload)
+            (exec_catching rt f)))
+
+let original_excerpt_params original =
+  match Ipv4.decode original with
+  | Error e -> Error (Printf.sprintf "original datagram: %s" e)
+  | Ok (hdr, payload) ->
+    let hlen = Ipv4.header_len hdr in
+    Ok
+      [
+        ("original_datagram", Rt.VBytes original);
+        ("original_datagram_data", Rt.VBytes payload);
+        ("internet_header", Rt.VBytes (Bytes.sub original 0 hlen));
+      ]
+
+let build_error_message ?(params = []) ~router_addr ~original t ~fn =
+  Result.bind (find_function t fn) (fun f ->
+      Result.bind (struct_for t fn) (fun sd ->
+          Result.bind (original_excerpt_params original) (fun excerpts ->
+              let proto = Pv.create sd in
+              (* errors are addressed by the generated code itself (the
+                 "Destination Address" IP-field description); start from
+                 the router as source *)
+              let ip = Rt.ip_info ~src:router_addr ~dst:Addr.any () in
+              let rt =
+                Rt.create
+                  ~params:(base_params @ excerpts @ params)
+                  ~proto ~ip ()
+              in
+              Result.map
+                (fun () ->
+                  let payload = Pv.serialize proto in
+                  let hdr =
+                    Ipv4.make ~protocol:(protocol_number t) ~src:rt.Rt.ip.Rt.src
+                      ~dst:rt.Rt.ip.Rt.dst
+                      ~payload_len:(Bytes.length payload) ()
+                  in
+                  Ipv4.encode hdr ~payload)
+                (exec_catching rt f))))
+
+let process_request ?(params = []) t ~fn ~request =
+  Result.bind (find_function t fn) (fun f ->
+      Result.bind (struct_for t fn) (fun sd ->
+          match Ipv4.decode request with
+          | Error e -> Error (Printf.sprintf "request: %s" e)
+          | Ok (req_hdr, req_payload) ->
+            (match Pv.deserialize sd req_payload with
+             | Error e -> Error e
+             | Ok request_view ->
+               (* the reply is formed from the received message (static
+                  framework), then mutated by the generated code *)
+               let proto = Pv.copy request_view in
+               let ip =
+                 Rt.ip_info ~ttl:64 ~tos:req_hdr.Ipv4.tos
+                   ~src:req_hdr.Ipv4.src ~dst:req_hdr.Ipv4.dst ()
+               in
+               let request_ip =
+                 Rt.ip_info ~ttl:req_hdr.Ipv4.ttl ~tos:req_hdr.Ipv4.tos
+                   ~src:req_hdr.Ipv4.src ~dst:req_hdr.Ipv4.dst ()
+               in
+               let rt =
+                 Rt.create ~request:request_view ~request_ip
+                   ~params:(base_params @ params) ~proto ~ip ()
+               in
+               Result.map
+                 (fun () ->
+                   if rt.Rt.discarded then None
+                   else
+                     let payload = Pv.serialize proto in
+                     let hdr =
+                       Ipv4.make ~protocol:(protocol_number t)
+                         ~src:rt.Rt.ip.Rt.src ~dst:rt.Rt.ip.Rt.dst
+                         ~payload_len:(Bytes.length payload) ()
+                     in
+                     Some (Ipv4.encode hdr ~payload))
+                 (exec_catching rt f))))
+
+let run_state_update ?(state = []) ?(params = []) t ~fn ~packet =
+  Result.bind (find_function t fn) (fun f ->
+      Result.bind (struct_for t fn) (fun sd ->
+          match Pv.deserialize sd packet with
+          | Error e -> Error e
+          | Ok view ->
+            (* state management processes the received packet in place *)
+            let ip = Rt.ip_info ~src:Addr.any ~dst:Addr.any () in
+            let rt =
+              Rt.create ~state
+                ~params:
+                  (base_params
+                  @ [ ("payload_length", Rt.VInt (Int64.of_int (Bytes.length packet))) ]
+                  @ params)
+                ~proto:view ~ip ()
+            in
+            Result.map
+              (fun () ->
+                let bindings =
+                  Hashtbl.fold (fun k v acc -> (k, v) :: acc) rt.Rt.state []
+                  |> List.sort compare
+                in
+                (bindings, rt.Rt.discarded))
+              (exec_catching rt f)))

@@ -1,0 +1,67 @@
+(** Driving SAGE-generated code as a protocol implementation.
+
+    This is the bridge between the pipeline's output (IR functions over
+    header layouts recovered from the RFC) and the simulated network: it
+    builds runtimes, executes the generated functions, and produces or
+    consumes raw IP datagrams.  It corresponds to the paper's integration
+    of generated code with the static framework (§6.2). *)
+
+type t
+
+val of_run : Sage.Pipeline.run -> t
+
+val functions : t -> Sage_codegen.Ir.func list
+
+type env_value = Sage_interp.Runtime.value
+
+val build_message :
+  ?params:(string * env_value) list ->
+  ?data:bytes ->
+  src:Sage_net.Addr.t ->
+  dst:Sage_net.Addr.t ->
+  t ->
+  fn:string ->
+  (bytes, string) result
+(** Run a sender-role generated function to construct a message from
+    scratch; returns the full IP datagram (IP header via the static
+    framework).  [data] pre-loads the variable-length field (e.g. echo
+    payload); [params] supplies environment values (clock, gateway,
+    original datagram). *)
+
+val build_error_message :
+  ?params:(string * env_value) list ->
+  router_addr:Sage_net.Addr.t ->
+  original:bytes ->
+  t ->
+  fn:string ->
+  (bytes, string) result
+(** Construct an ICMP error message quoting [original] (a full IP
+    datagram).  Provides the standard error-message environment: the
+    original datagram, its header and payload excerpts, and the
+    destination derived by the generated code. *)
+
+val process_request :
+  ?params:(string * env_value) list ->
+  t ->
+  fn:string ->
+  request:bytes ->
+  (bytes option, string) result
+(** Run a receiver-role function against an incoming datagram: the reply
+    is formed from the received message (static framework), then the
+    generated statements mutate it.  [Ok None] when the generated code
+    discarded the packet. *)
+
+val run_state_update :
+  ?state:(string * int64) list ->
+  ?params:(string * env_value) list ->
+  t ->
+  fn:string ->
+  packet:bytes ->
+  ((string * int64) list * bool, string) result
+(** BFD-style state management: execute the function against a received
+    control packet and initial state; returns the final state bindings
+    and whether the packet was discarded. *)
+
+val protocol_number : t -> int
+(** The IP protocol number for this stack's protocol (1 for ICMP, 2 for
+    IGMP, 17 for UDP-encapsulated protocols). *)

@@ -1,0 +1,168 @@
+module Addr = Sage_net.Addr
+module Ipv4 = Sage_net.Ipv4
+module Icmp = Sage_net.Icmp
+module Rt = Sage_interp.Runtime
+
+type error_kind =
+  | Net_unreachable
+  | Host_unreachable
+  | Port_unreachable
+  | Frag_needed
+  | Time_exceeded
+  | Parameter_problem of int
+  | Source_quench
+  | Redirect of Addr.t
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementation (the "Linux" side).                        *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  name : string;
+  echo_reply : request:bytes -> (bytes option, string) result;
+  error : kind:error_kind -> original:bytes -> router:Addr.t ->
+    (bytes, string) result;
+}
+
+let reference_echo_reply ~request =
+  match Ipv4.decode request with
+  | Error e -> Error e
+  | Ok (hdr, payload) ->
+    if hdr.Ipv4.protocol <> Ipv4.protocol_icmp then Ok None
+    else if not (Icmp.checksum_ok payload) then Ok None
+    else
+      (match Icmp.decode payload with
+       | Error e -> Error e
+       | Ok (Icmp.Echo echo) ->
+         let reply = Icmp.encode (Icmp.Echo_reply echo) in
+         let rhdr =
+           Ipv4.make ~protocol:Ipv4.protocol_icmp ~src:hdr.Ipv4.dst
+             ~dst:hdr.Ipv4.src ~payload_len:(Bytes.length reply) ()
+         in
+         Ok (Some (Ipv4.encode rhdr ~payload:reply))
+       | Ok (Icmp.Timestamp ts) ->
+         let reply =
+           Icmp.encode
+             (Icmp.Timestamp_reply
+                { ts with Icmp.receive = 43_200_000l; transmit = 43_200_000l })
+         in
+         let rhdr =
+           Ipv4.make ~protocol:Ipv4.protocol_icmp ~src:hdr.Ipv4.dst
+             ~dst:hdr.Ipv4.src ~payload_len:(Bytes.length reply) ()
+         in
+         Ok (Some (Ipv4.encode rhdr ~payload:reply))
+       | Ok (Icmp.Information_request i) ->
+         let reply = Icmp.encode (Icmp.Information_reply i) in
+         let rhdr =
+           Ipv4.make ~protocol:Ipv4.protocol_icmp ~src:hdr.Ipv4.dst
+             ~dst:hdr.Ipv4.src ~payload_len:(Bytes.length reply) ()
+         in
+         Ok (Some (Ipv4.encode rhdr ~payload:reply))
+       | Ok _ -> Ok None)
+
+let reference_error ~kind ~original ~router =
+  match Ipv4.decode original with
+  | Error e -> Error e
+  | Ok (ohdr, _) ->
+    let excerpt = Icmp.original_datagram_excerpt original in
+    let message =
+      match kind with
+      | Net_unreachable ->
+        Icmp.Destination_unreachable { Icmp.err_code = 0; original = excerpt }
+      | Host_unreachable ->
+        Icmp.Destination_unreachable { Icmp.err_code = 1; original = excerpt }
+      | Port_unreachable ->
+        Icmp.Destination_unreachable { Icmp.err_code = 3; original = excerpt }
+      | Frag_needed ->
+        Icmp.Destination_unreachable { Icmp.err_code = 4; original = excerpt }
+      | Time_exceeded -> Icmp.Time_exceeded { Icmp.err_code = 0; original = excerpt }
+      | Parameter_problem pointer ->
+        Icmp.Parameter_problem { Icmp.pp_code = 0; pointer; pp_original = excerpt }
+      | Source_quench -> Icmp.Source_quench { Icmp.err_code = 0; original = excerpt }
+      | Redirect gateway ->
+        Icmp.Redirect { Icmp.red_code = 1; gateway; red_original = excerpt }
+    in
+    let payload = Icmp.encode message in
+    let hdr =
+      Ipv4.make ~protocol:Ipv4.protocol_icmp ~src:router ~dst:ohdr.Ipv4.src
+        ~payload_len:(Bytes.length payload) ()
+    in
+    Ok (Ipv4.encode hdr ~payload)
+
+let reference =
+  { name = "reference"; echo_reply = reference_echo_reply; error = reference_error }
+
+(* ------------------------------------------------------------------ *)
+(* SAGE-generated implementation.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let generated stack =
+  (* receiver-side demultiplexing on the ICMP type is the static
+     framework's job (the OS delivers to the right handler); each handler
+     is generated *)
+  let echo_reply ~request =
+    match Ipv4.decode request with
+    | Error e -> Error e
+    | Ok (_, payload) when Bytes.length payload < 1 -> Ok None
+    | Ok (_, payload) ->
+      let ty = Char.code (Bytes.get payload 0) in
+      if ty = Icmp.type_echo then
+        Generated_stack.process_request stack ~fn:"icmp_echo_reply_receiver"
+          ~request
+      else if ty = Icmp.type_timestamp then
+        Generated_stack.process_request stack
+          ~fn:"icmp_timestamp_reply_receiver" ~request
+      else if ty = Icmp.type_information_request then
+        Generated_stack.process_request stack
+          ~fn:"icmp_information_reply_receiver" ~request
+      else Ok None
+  in
+  let error ~kind ~original ~router =
+    let fn, params =
+      match kind with
+      | Net_unreachable -> ("icmp_destination_unreachable_sender", [])
+      | Host_unreachable -> ("icmp_destination_unreachable_sender", [])
+      | Port_unreachable -> ("icmp_destination_unreachable_sender", [])
+      | Frag_needed -> ("icmp_destination_unreachable_sender", [])
+      | Time_exceeded -> ("icmp_time_exceeded_sender", [])
+      | Parameter_problem pointer ->
+        ( "icmp_parameter_problem_sender",
+          [ ("error_pointer", Rt.VInt (Int64.of_int pointer)) ] )
+      | Source_quench -> ("icmp_source_quench_sender", [])
+      | Redirect gateway ->
+        ( "icmp_redirect_sender",
+          [ ("gateway_address",
+             Rt.VInt (Int64.logand (Int64.of_int32 (Addr.to_int32 gateway)) 0xffffffffL)) ] )
+    in
+    (* the generated code for a code-valued field defaults to 0; the
+       concrete code point (e.g. host vs net unreachable) comes from the
+       caller, like the code's int argument in a hand-written stack *)
+    let code =
+      match kind with
+      | Host_unreachable -> Some 1
+      | Port_unreachable -> Some 3
+      | Frag_needed -> Some 4
+      | Redirect _ -> Some 1
+      | Net_unreachable | Time_exceeded | Parameter_problem _ | Source_quench ->
+        None
+    in
+    Result.bind
+      (Generated_stack.build_error_message ~params ~router_addr:router ~original
+         stack ~fn)
+      (fun dgram ->
+        match code with
+        | None -> Ok dgram
+        | Some c ->
+          (* patch the code octet and refresh the ICMP checksum, as the
+             router's calling convention does for a specific code point *)
+          (match Ipv4.decode dgram with
+           | Error e -> Error e
+           | Ok (hdr, payload) ->
+             let payload = Bytes.copy payload in
+             Sage_net.Bytes_util.set_u8 payload 1 c;
+             Sage_net.Bytes_util.set_u16 payload 2 0;
+             Sage_net.Bytes_util.set_u16 payload 2
+               (Sage_net.Checksum.checksum payload);
+             Ok (Ipv4.encode hdr ~payload)))
+  in
+  { name = "sage-generated"; echo_reply; error }

@@ -1,0 +1,36 @@
+(** The ICMP service interface a router/host needs: answer echo requests
+    and construct error messages.  Two implementations exist — the
+    hand-written {!reference} (the "Linux side" of interoperation tests)
+    and {!generated} (SAGE output executed by the interpreter).  The §6.2
+    experiments run the same scenarios against both. *)
+
+type error_kind =
+  | Net_unreachable
+  | Host_unreachable
+  | Port_unreachable
+  | Frag_needed        (** code 4: fragmentation needed and DF set *)
+  | Time_exceeded
+  | Parameter_problem of int   (** pointer: offending octet *)
+  | Source_quench
+  | Redirect of Sage_net.Addr.t (** the better gateway *)
+
+type t = {
+  name : string;
+  echo_reply : request:bytes -> (bytes option, string) result;
+      (** given a full IP datagram carrying an echo request addressed to
+          this node, produce the full echo-reply datagram (None =
+          discarded) *)
+  error : kind:error_kind -> original:bytes -> router:Sage_net.Addr.t ->
+    (bytes, string) result;
+      (** construct the error datagram quoting [original] *)
+}
+
+val reference : t
+(** Hand-written against RFC 792 and Linux behaviour, using the [lib/net]
+    codecs only. *)
+
+val generated : Generated_stack.t -> t
+(** Backed by SAGE-generated functions:
+    [icmp_echo_reply_receiver], [icmp_destination_unreachable_sender],
+    [icmp_time_exceeded_sender], [icmp_parameter_problem_sender],
+    [icmp_source_quench_sender], [icmp_redirect_sender]. *)

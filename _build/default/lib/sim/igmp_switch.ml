@@ -1,0 +1,42 @@
+module Addr = Sage_net.Addr
+module Ipv4 = Sage_net.Ipv4
+module Igmp = Sage_net.Igmp
+
+type t = { addr : Addr.t; mutable members : Addr.t list }
+
+let create ?(groups = []) addr = { addr; members = groups }
+
+let join t g = if not (List.exists (Addr.equal g) t.members) then t.members <- g :: t.members
+
+let leave t g = t.members <- List.filter (fun x -> not (Addr.equal x g)) t.members
+
+let groups t = t.members
+
+let receive t dgram =
+  match Ipv4.decode dgram with
+  | Error e -> Error e
+  | Ok (hdr, payload) ->
+    if hdr.Ipv4.protocol <> Ipv4.protocol_igmp then Ok []
+    else if not (Igmp.checksum_ok payload) then Error "bad IGMP checksum"
+    else
+      (match Igmp.decode payload with
+       | Error e -> Error e
+       | Ok msg ->
+         (match msg.Igmp.kind with
+          | Igmp.Host_membership_query ->
+            (* RFC 1112: queries are sent to the all-hosts group *)
+            if not (Addr.equal hdr.Ipv4.dst Igmp.all_hosts_group) then
+              Error "query not addressed to the all-hosts group"
+            else
+              Ok
+                (List.map
+                   (fun group ->
+                     let report = Igmp.encode (Igmp.report group) in
+                     let rhdr =
+                       Ipv4.make ~ttl:1 ~protocol:Ipv4.protocol_igmp
+                         ~src:t.addr ~dst:group
+                         ~payload_len:(Bytes.length report) ()
+                     in
+                     Ipv4.encode rhdr ~payload:report)
+                   t.members)
+          | Igmp.Host_membership_report -> Ok []))

@@ -1,0 +1,23 @@
+(** A commodity IGMP-snooping switch (paper §6.3): "our generated code
+    sends a host membership query to a commodity switch. We verified,
+    using packet captures, that the switch's response is correct."
+
+    The switch keeps a group-membership table; on receiving a valid Host
+    Membership Query it answers with one Host Membership Report per group
+    it has members for, addressed to that group, exactly as RFC 1112
+    hosts behind a snooping switch would. *)
+
+type t
+
+val create : ?groups:Sage_net.Addr.t list -> Sage_net.Addr.t -> t
+(** [create addr] — a switch/host at [addr] with joined [groups]. *)
+
+val join : t -> Sage_net.Addr.t -> unit
+val leave : t -> Sage_net.Addr.t -> unit
+val groups : t -> Sage_net.Addr.t list
+
+val receive : t -> bytes -> (bytes list, string) result
+(** Feed a raw IP datagram to the switch.  A valid membership query
+    (correct IGMP checksum, version 1, addressed to the all-hosts group)
+    elicits one report datagram per joined group; anything else elicits
+    nothing.  Malformed IGMP yields [Error]. *)

@@ -1,0 +1,57 @@
+(** Mininet-lite: the simulated network of the paper's evaluation
+    (§6.1/Appendix A).  The canonical topology is one router with three
+    subnets — 10.0.1.1/24 (the client side), 192.168.2.1/24 and
+    172.64.3.1/24 — and one server per subnet.  The router runs an
+    {!Icmp_service} (reference or SAGE-generated); the appendix's trigger
+    conditions (TTL expiry, unknown destination, unsupported ToS, full
+    buffer, same-subnet next hop) are implemented in the router's
+    forwarding path. *)
+
+type t
+
+type delivery =
+  | Delivered of Sage_net.Addr.t        (** reached this host *)
+  | Icmp_response of bytes              (** router generated an ICMP error *)
+  | Replied of bytes                    (** destination answered (echo...) *)
+  | Dropped of string                   (** silently dropped, with reason *)
+
+val default_topology : ?service:Icmp_service.t -> ?extra_hops:int -> unit -> t
+(** The appendix topology.  [service] defaults to {!Icmp_service.reference}
+    and is the implementation running on the router {e and} hosts.
+    [extra_hops] (default 0) inserts that many transit routers between
+    the first-hop router and the servers, so traceroute sees a longer
+    path. *)
+
+val client_addr : t -> Sage_net.Addr.t
+(** 10.0.1.50, the client host. *)
+
+val router_client_iface : t -> Sage_net.Addr.t
+(** 10.0.1.1, the router's interface on the client subnet. *)
+
+val server1_addr : t -> Sage_net.Addr.t
+(** 192.168.2.10 *)
+
+val server2_addr : t -> Sage_net.Addr.t
+(** 172.64.3.10 *)
+
+val unknown_addr : t -> Sage_net.Addr.t
+(** An address in none of the three subnets. *)
+
+val set_tos_supported : t -> int -> unit
+(** The router only handles this type-of-service value (default 0);
+    others trigger Parameter Problem (appendix scenario). *)
+
+val set_buffer_full : t -> bool -> unit
+(** Simulate a full outbound buffer: forwarding triggers Source Quench. *)
+
+val set_mtu : t -> int -> unit
+(** Egress MTU (default 1500): a larger datagram with the Don't Fragment
+    flag set triggers Destination Unreachable code 4 ("fragmentation
+    needed and DF set"). *)
+
+val capture : t -> Sage_net.Pcap.capture
+(** Every packet that crossed the network, in a pcap capture. *)
+
+val send : t -> from:Sage_net.Addr.t -> bytes -> delivery
+(** Inject a datagram at a host and run it through the network until it
+    is delivered, answered, or dropped. *)

@@ -1,0 +1,212 @@
+
+module Ipv4 = Sage_net.Ipv4
+module Bu = Sage_net.Bytes_util
+module Checksum = Sage_net.Checksum
+
+type checksum_interpretation =
+  | Specific_header_size
+  | Partial_header
+  | Header_and_payload
+  | Ip_header_size
+  | Header_payload_options
+  | Incremental_update
+  | Magic_constant of int
+
+type fault =
+  | Ip_header
+  | Icmp_header
+  | Byte_order
+  | Payload
+  | Length
+  | Checksum of checksum_interpretation
+
+let checksum_interpretations =
+  [
+    Specific_header_size;
+    Partial_header;
+    Header_and_payload;
+    Ip_header_size;
+    Header_payload_options;
+    Incremental_update;
+    Magic_constant 8;
+  ]
+
+let interpretation_name = function
+  | Specific_header_size -> "size of a specific type of ICMP header"
+  | Partial_header -> "size of a partial ICMP header"
+  | Header_and_payload -> "size of the ICMP header and payload"
+  | Ip_header_size -> "size of the IP header"
+  | Header_payload_options -> "ICMP header and payload plus IP options"
+  | Incremental_update -> "incremental update of the checksum field"
+  | Magic_constant n -> Printf.sprintf "magic constant (%d)" n
+
+let compute_checksum interp ~request ~reply =
+  let len = Bytes.length reply in
+  match interp with
+  | Specific_header_size -> Checksum.checksum ~off:0 ~len:(min 8 len) reply
+  | Partial_header -> Checksum.checksum ~off:0 ~len:(min 4 len) reply
+  | Header_and_payload -> Checksum.checksum reply
+  | Ip_header_size -> Checksum.checksum ~off:0 ~len:(min 20 len) reply
+  | Header_payload_options ->
+    (* phantom IP option bytes appended to the range *)
+    Checksum.checksum (Bytes.cat reply (Bytes.make 4 '\x01'))
+  | Incremental_update ->
+    (* update the request's checksum for the type change 8 -> 0 *)
+    let old_checksum = if Bytes.length request >= 4 then Bu.get_u16 request 2 else 0 in
+    let old_word = if Bytes.length request >= 2 then Bu.get_u16 request 0 else 0 in
+    let new_word = if len >= 2 then Bu.get_u16 reply 0 else 0 in
+    Checksum.incremental_update ~old_checksum ~old_word ~new_word
+  | Magic_constant n -> n
+
+let interoperates interp =
+  (* build an echo request/reply pair and test the verifier *)
+  let payload = Bytes.of_string "abcdefgh12345678" in
+  let request =
+    Sage_net.Icmp.encode
+      (Sage_net.Icmp.Echo
+         { Sage_net.Icmp.echo_code = 0; identifier = 77; sequence = 3; payload })
+  in
+  let reply = Bytes.copy request in
+  Bu.set_u8 reply 0 0;
+  Bu.set_u16 reply 2 0;
+  let c = compute_checksum interp ~request ~reply in
+  Bu.set_u16 reply 2 c;
+  Sage_net.Icmp.checksum_ok reply
+
+let fault_label = function
+  | Ip_header -> "IP header related"
+  | Icmp_header -> "ICMP header related"
+  | Byte_order -> "Network byte order and host byte order conversion"
+  | Payload -> "Incorrect ICMP payload content"
+  | Length -> "Incorrect echo reply packet length"
+  | Checksum _ -> "Incorrect checksum or dropped by kernel"
+
+let table2_rows =
+  [
+    "IP header related";
+    "ICMP header related";
+    "Network byte order and host byte order conversion";
+    "Incorrect ICMP payload content";
+    "Incorrect echo reply packet length";
+    "Incorrect checksum or dropped by kernel";
+  ]
+
+type student = { id : int; faults : fault list; compiles : bool }
+
+(* 14 faulty implementations with category frequencies matching Table 2:
+   IP 8/14 (57%), ICMP 8/14 (57%), byte order 4/14 (29%), payload 6/14
+   (43%), length 4/14 (29%), checksum 5/14 (36%). *)
+let faulty_fault_sets =
+  [
+    [ Ip_header; Icmp_header ];
+    [ Ip_header; Checksum Specific_header_size; Length ];
+    [ Ip_header; Payload ];
+    [ Ip_header; Icmp_header; Byte_order ];
+    [ Ip_header; Length ];
+    [ Ip_header; Payload ];
+    [ Ip_header; Icmp_header ];
+    [ Ip_header; Icmp_header; Checksum Partial_header ];
+    [ Icmp_header; Byte_order ];
+    [ Icmp_header; Payload ];
+    [ Icmp_header; Payload; Length ];
+    [ Icmp_header; Byte_order; Checksum Ip_header_size ];
+    [ Payload; Checksum (Magic_constant 8) ];
+    [ Byte_order; Payload; Length; Checksum Header_payload_options ];
+  ]
+
+let cohort =
+  let correct =
+    List.init 24 (fun i -> { id = i + 1; faults = []; compiles = true })
+  in
+  let broken = [ { id = 25; faults = []; compiles = false } ] in
+  let faulty =
+    List.mapi
+      (fun i faults -> { id = 26 + i; faults; compiles = true })
+      faulty_fault_sets
+  in
+  correct @ broken @ faulty
+
+(* Apply a student's faults to a correct reply datagram. *)
+let distort faults ~request_dgram reply_dgram =
+  match Ipv4.decode reply_dgram with
+  | Error _ -> reply_dgram
+  | Ok (hdr, icmp) ->
+    let icmp = Bytes.copy icmp in
+    let hdr = ref hdr in
+    let request_icmp =
+      match Ipv4.decode request_dgram with
+      | Ok (_, r) -> r
+      | Error _ -> Bytes.empty
+    in
+    let icmp = ref icmp in
+    List.iter
+      (fun fault ->
+        match fault with
+        | Ip_header ->
+          (* forgot to reverse the addresses: reply goes back out with the
+             request's addressing *)
+          (match Ipv4.decode request_dgram with
+           | Ok (rh, _) ->
+             hdr := { !hdr with Ipv4.src = rh.Ipv4.src; dst = rh.Ipv4.dst }
+           | Error _ -> ())
+        | Icmp_header ->
+          (* left the type field as echo request *)
+          if Bytes.length !icmp >= 1 then Bu.set_u8 !icmp 0 8
+        | Byte_order ->
+          if Bytes.length !icmp >= 8 then begin
+            let id = Bu.get_u16 !icmp 4 and seq = Bu.get_u16 !icmp 6 in
+            let swap v = ((v land 0xff) lsl 8) lor (v lsr 8) in
+            Bu.set_u16 !icmp 4 (swap id);
+            Bu.set_u16 !icmp 6 (swap seq)
+          end
+        | Payload ->
+          if Bytes.length !icmp > 8 then
+            Bytes.fill !icmp 8 (Bytes.length !icmp - 8) '\000'
+        | Length ->
+          if Bytes.length !icmp > 12 then
+            icmp := Bytes.sub !icmp 0 (Bytes.length !icmp - 4)
+        | Checksum _ -> ())
+      faults;
+    (* recompute the checksum last, honouring a checksum-interpretation
+       fault if present (a correct student recomputes over the full
+       message) *)
+    let interp =
+      List.fold_left
+        (fun acc f -> match f with Checksum i -> Some i | _ -> acc)
+        None faults
+    in
+    if Bytes.length !icmp >= 4 then begin
+      Bu.set_u16 !icmp 2 0;
+      let c =
+        match interp with
+        | Some i -> compute_checksum i ~request:request_icmp ~reply:!icmp
+        | None -> Checksum.checksum !icmp
+      in
+      Bu.set_u16 !icmp 2 c
+    end;
+    let hdr =
+      { !hdr with Ipv4.total_length = Ipv4.header_len !hdr + Bytes.length !icmp }
+    in
+    Ipv4.encode hdr ~payload:!icmp
+
+let service_of student =
+  if not student.compiles then
+    {
+      Icmp_service.name = Printf.sprintf "student-%d (does not compile)" student.id;
+      echo_reply = (fun ~request:_ -> Ok None);
+      error = (fun ~kind:_ ~original:_ ~router:_ -> Error "does not compile");
+    }
+  else if student.faults = [] then
+    { Icmp_service.reference with
+      Icmp_service.name = Printf.sprintf "student-%d" student.id }
+  else
+    {
+      Icmp_service.name = Printf.sprintf "student-%d" student.id;
+      echo_reply =
+        (fun ~request ->
+          match Icmp_service.reference.Icmp_service.echo_reply ~request with
+          | Ok (Some reply) ->
+            Ok (Some (distort student.faults ~request_dgram:request reply))
+          | other -> other);
+      error = Icmp_service.reference.Icmp_service.error;
+    }

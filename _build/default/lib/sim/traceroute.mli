@@ -1,0 +1,25 @@
+(** A Linux-faithful traceroute client: UDP probes to high ports with
+    increasing TTL.  Hop 1 should elicit an ICMP Time Exceeded from the
+    router; the final hop a Destination Unreachable (port unreachable)
+    from the target.  Each response is validated the way traceroute does:
+    the quoted original datagram (IP header + first 64 bits) must match
+    the probe so the response can be attributed to it. *)
+
+type hop = {
+  ttl : int;
+  responder : Sage_net.Addr.t option;  (** None = probe vanished *)
+  response_type : int option;          (** ICMP type of the response *)
+  quoted_probe_ok : bool;              (** original-datagram excerpt matches *)
+  note : string;
+}
+
+type result = {
+  target : Sage_net.Addr.t;
+  hops : hop list;
+  reached : bool;  (** a port-unreachable arrived from the target *)
+}
+
+val traceroute :
+  ?max_ttl:int -> ?first_port:int -> net:Network.t -> Sage_net.Addr.t -> result
+
+val hop_count : result -> int

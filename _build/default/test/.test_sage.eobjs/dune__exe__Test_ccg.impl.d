@@ -1,0 +1,1 @@
+test/test_ccg.ml: Alcotest Fmt List Result Sage_ccg Sage_logic Sage_nlp String

@@ -1,0 +1,1 @@
+test/test_checks_table.ml: Alcotest List Printf Result Sage_ccg Sage_disambig Sage_logic

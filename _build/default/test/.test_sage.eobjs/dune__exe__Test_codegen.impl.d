@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Astring_contains Fmt List Result Sage_codegen Sage_logic Sage_rfc

@@ -1,0 +1,1 @@
+test/test_disambig.ml: Alcotest List Result Sage_disambig Sage_logic

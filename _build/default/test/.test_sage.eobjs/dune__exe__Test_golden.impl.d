@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Bytes Char Gen Lazy List QCheck QCheck_alcotest Sage Sage_ccg Sage_corpus Sage_disambig Sage_logic Sage_net Sage_sim String

@@ -1,0 +1,1 @@
+test/test_interop.ml: Alcotest Bytes Int64 Lazy List Option Printf Result Sage Sage_corpus Sage_interp Sage_net Sage_sim

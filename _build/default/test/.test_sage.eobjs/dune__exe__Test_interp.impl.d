@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Bytes Gen Int64 QCheck QCheck_alcotest Result Sage_codegen Sage_interp Sage_net Sage_rfc

@@ -1,0 +1,1 @@
+test/test_lf.ml: Alcotest List QCheck QCheck_alcotest Sage_logic String

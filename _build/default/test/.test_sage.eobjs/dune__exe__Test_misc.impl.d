@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring_contains Bytes Filename Fmt Fun Lazy List QCheck QCheck_alcotest Result Sage Sage_ccg Sage_codegen Sage_corpus Sage_logic Sage_net Sage_nlp String Sys

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Astring_contains Bytes Char Float Gen Int32 List Option Printf QCheck QCheck_alcotest Result Sage_net String

@@ -1,0 +1,1 @@
+test/test_nlp.ml: Alcotest List Printf Sage_nlp

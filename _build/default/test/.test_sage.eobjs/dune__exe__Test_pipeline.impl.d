@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Astring_contains Fmt Lazy List Option Printf Sage Sage_codegen Sage_corpus Sage_disambig Sage_logic

@@ -1,0 +1,1 @@
+test/test_pseudo_code.ml: Alcotest Bytes Gen Lazy List Option Printexc Printf QCheck QCheck_alcotest Result Sage Sage_codegen Sage_corpus Sage_logic Sage_rfc Sage_sim String

@@ -1,0 +1,1 @@
+test/test_rfc.ml: Alcotest Astring_contains Lazy List Option Printf Sage_corpus Sage_logic Sage_rfc

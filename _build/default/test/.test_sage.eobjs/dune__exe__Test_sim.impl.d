@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bytes List Option Printf Sage_net Sage_sim String

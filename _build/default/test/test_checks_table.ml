@@ -1,0 +1,159 @@
+(* A table-driven regression net: every named winnowing check is
+   exercised with one violating and one conforming logical form, and the
+   lexicon is audited for category/semantics arity consistency. *)
+
+module Lf = Sage_logic.Lf
+module Checks = Sage_disambig.Checks
+module Lex = Sage_ccg.Lexicon
+module Cat = Sage_ccg.Category
+module Sem = Sage_ccg.Sem
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let lf s = Result.get_ok (Lf.of_string s)
+
+(* (check name, violating LF, conforming LF) *)
+let cases =
+  [
+    (* --- type checks --- *)
+    ("action-fname-is-name", {|@Action(3, 'x')|}, {|@Action("reverse", 'x')|});
+    ("action-has-subject", {|@Action("reverse")|}, {|@Action("reverse", 'x')|});
+    ("action-args-are-entities",
+     {|@Action("reverse", @Is('a', 0))|}, {|@Action("reverse", 'a')|});
+    ("is-lhs-not-constant", "@Is(1, 'a')", "@Is('a', 1)");
+    ("is-lhs-is-entity", {|@Is(@Action("f", 'x'), 0)|}, "@Is('a', 0)");
+    ("is-rhs-not-clause", "@Is('a', @Is('b', 0))", "@Is('a', 0)");
+    ("is-binary", "@Is('a')", "@Is('a', 0)");
+    ("set-field-is-entity", {|@Set(@Must(@Is('a', 0)), 1)|}, "@Set('a', 1)");
+    ("set-value-not-clause", "@Set('a', @Is('b', 0))", "@Set('a', 1)");
+    ("if-binary", "@If(@Cmp('eq', 'a', 0))", "@If(@Cmp('eq', 'a', 0), @Is('b', 1))");
+    ("if-cond-is-clause", "@If('a', @Is('b', 0))", "@If(@Cmp('eq', 'a', 0), @Is('b', 0))");
+    ("if-conseq-is-clause", "@If(@Cmp('eq', 'a', 0), 'b')",
+     "@If(@Cmp('eq', 'a', 0), @Is('b', 0))");
+    ("advice-context-is-event", "@AdvBefore(@Is('a', 0), @Is('b', 0))",
+     "@AdvBefore(@Compute('a'), @Is('b', 0))");
+    ("advice-body-is-clause", "@AdvBefore(@Compute('a'), 'b')",
+     "@AdvBefore(@Compute('a'), @Is('b', 0))");
+    ("cmp-op-known", "@Cmp('almost', 'a', 0)", "@Cmp('eq', 'a', 0)");
+    ("cmp-args-are-entities", "@Cmp('eq', @Is('a', 0), 0)", "@Cmp('eq', 'a', 0)");
+    ("may-wraps-clause", "@May('a')", "@May(@Is('a', 0))");
+    ("must-wraps-clause", "@Must('a')", "@Must(@Is('a', 0))");
+    ("not-wraps-clause-or-entity", "@Not('a', 'b')", "@Not(@Is('a', 0))");
+    ("and-homogeneous", "@And(@Is('a', 0), 'b')", "@And('a', 'b')");
+    ("or-homogeneous", "@Or(@Is('a', 0), 'b')", "@Or('a', 'b')");
+    ("of-args-are-entities", "@Of('a', @Is('b', 0))", "@Of('a', 'b')");
+    ("of-binary", "@Of('a')", "@Of('a', 'b')");
+    ("startat-base-is-entity", "@StartAt(@Is('a', 0), 'b')", "@StartAt('a', 'b')");
+    ("startat-marker-is-entity", "@StartAt('a', @Is('b', 0))", "@StartAt('a', 'b')");
+    ("send-object-is-entity", "@Send('s', @Is('a', 0), 'd')", "@Send('s', 'a', 'd')");
+    ("send-dest-is-entity", "@Send('s', 'a', @Is('d', 0))", "@Send('s', 'a', 'd')");
+    ("select-args-are-entities", "@Select(@Is('a', 0), 'k')", "@Select('s', 'k')");
+    ("purpose-head-is-entity", "@Purpose(@Is('a', 0), @Is('b', 0))",
+     {|@Purpose('a', @Action("aid", 'a'))|});
+    ("where-head-is-entity", "@Where(@Is('a', 0), @Is('b', 0))",
+     "@Where('octet', @Is('b', 0))");
+    ("compute-wraps-entity", "@Compute(@Is('a', 0))", "@Compute('a')");
+    ("match-wraps-entity", "@Match(@Is('a', 0))", "@Match('a')");
+    ("compound-args-are-terms", "@Compound(0, 'b')", "@Compound('a', 'b')");
+    ("aid-only-under-purpose", {|@Action("aid", 'x')|},
+     {|@Purpose('x', @Action("aid", 'x'))|});
+    (* --- argument ordering --- *)
+    ("if-condition-first", "@If(@Must(@Discard('p')), @Cmp('eq', 'a', 0))",
+     "@If(@Cmp('eq', 'a', 0), @Must(@Discard('p')))");
+    ("cmp-constant-on-right", "@Cmp('eq', 0, 'a')", "@Cmp('eq', 'a', 0)");
+    ("is-value-on-right", "@Is(0, 'a')", "@Is('a', 0)");
+    ("set-field-not-constant", "@Set(0, 'a')", "@Set('a', 0)");
+    ("advice-context-not-clause", "@AdvBefore(@Is('a', 0), @Compute('b'))",
+     "@AdvBefore(@Compute('a'), @Is('b', 0))");
+    ("send-subject-not-constant", "@Send(3, 'a', 'd')", "@Send('s', 'a', 'd')");
+    ("select-object-first", "@Select(3, 'k')", "@Select('s', 'k')");
+    (* --- predicate ordering --- *)
+    ("no-is-under-of", "@Of('a', @Is('b', 0))", "@Is(@Of('a', 'b'), 0)");
+    ("no-if-under-modal", "@May(@If(@Cmp('eq', 'a', 0), @Is('b', 0)))",
+     "@If(@Cmp('eq', 'a', 0), @May(@Is('b', 0)))");
+    ("no-if-under-purpose", "@Purpose('a', @If(@Cmp('eq', 'b', 0), @Is('c', 0)))",
+     {|@Purpose('a', @Action("aid", 'a'))|});
+    ("no-advice-under-and",
+     "@And(@AdvBefore(@Compute('a'), @Is('b', 0)), @Is('c', 0))",
+     "@AdvBefore(@Compute('a'), @And(@Is('b', 0), @Is('c', 0)))");
+    ("of-binds-tighter-than-plus", "@Of(@Plus('a', 'b'), 'c')",
+     "@Plus('a', @Of('b', 'c'))");
+    ("from-binds-looser-than-and", "@And('a', @From('b', 'c'))",
+     "@From(@And('a', 'b'), 'c')");
+    ("no-if-under-and",
+     "@And(@If(@Cmp('eq', 'a', 0), @Is('b', 0)), @Is('c', 0))",
+     "@If(@Cmp('eq', 'a', 0), @And(@Is('b', 0), @Is('c', 0)))");
+    ("if-body-not-mixed",
+     "@If(@Cmp('eq', 'a', 0), @And(@Cmp('eq', 'b', 0), @Must(@Discard('p'))))",
+     "@If(@And(@Cmp('eq', 'a', 0), @Cmp('eq', 'b', 0)), @Must(@Discard('p')))");
+    ("no-send-under-gerund", "@Transmit(@Send('s', 'a', 'd'))", "@Transmit('a')");
+    ("no-clause-under-encapsulate", "@Encapsulate(@Is('a', 0), 'b')",
+     "@Encapsulate('a', 'b')");
+  ]
+
+let test_every_check_has_a_case () =
+  let named = List.map (fun c -> c.Checks.name) Checks.all_filters in
+  let covered = List.map (fun (n, _, _) -> n) cases in
+  List.iter
+    (fun n ->
+      check Alcotest.bool (Printf.sprintf "case for %s" n) true
+        (List.mem n covered))
+    named
+
+let test_cases () =
+  List.iter
+    (fun (name, violating, conforming) ->
+      match List.find_opt (fun c -> c.Checks.name = name) Checks.all_filters with
+      | None -> Alcotest.failf "no check named %s" name
+      | Some c ->
+        check Alcotest.bool (name ^ ": violating LF rejected") true
+          (c.Checks.violates (lf violating));
+        check Alcotest.bool (name ^ ": conforming LF kept") false
+          (c.Checks.violates (lf conforming)))
+    cases
+
+(* ---- lexicon arity audit ---- *)
+
+let rec lambda_depth = function
+  | Sem.Lam (_, body) -> 1 + lambda_depth body
+  | _ -> 0
+
+let test_lexicon_arity_consistent () =
+  (* every entry's semantics must accept at least as many arguments as
+     its syntactic category demands, or a derivation would get stuck with
+     an unreduced application *)
+  List.iter
+    (fun (e : Lex.entry) ->
+      let arity = Cat.arity e.Lex.cat in
+      let depth = lambda_depth e.Lex.sem in
+      check Alcotest.bool
+        (Printf.sprintf "%s : %s (needs %d args, sem takes %d)" e.Lex.phrase
+           (Cat.to_string e.Lex.cat) arity depth)
+        true (depth >= arity || arity = 0))
+    (Lex.entries (Lex.bgp ()))
+
+let test_lexicon_no_duplicate_entries () =
+  let entries = Lex.entries (Lex.bgp ()) in
+  let keys =
+    List.map
+      (fun (e : Lex.entry) ->
+        e.Lex.phrase ^ "|" ^ Cat.to_string e.Lex.cat ^ "|" ^ Sem.to_string e.Lex.sem)
+      entries
+  in
+  let sorted = List.sort compare keys in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if a = b then Some a else dup rest
+    | _ -> None
+  in
+  match dup sorted with
+  | None -> ()
+  | Some k -> Alcotest.failf "duplicate lexicon entry: %s" k
+
+let suite =
+  [
+    tc "every check has a table case" test_every_check_has_a_case;
+    tc "all check cases (violating/conforming)" test_cases;
+    tc "lexicon arity audit" test_lexicon_arity_consistent;
+    tc "lexicon has no duplicate entries" test_lexicon_no_duplicate_entries;
+  ]

@@ -1,0 +1,420 @@
+(* Tests for the code generator: contexts, predicate handlers, assembly,
+   and the C printer. *)
+
+module Lf = Sage_logic.Lf
+module Ir = Sage_codegen.Ir
+module Context = Sage_codegen.Context
+module Generate = Sage_codegen.Generate
+module Assemble = Sage_codegen.Assemble
+module C = Sage_codegen.C_printer
+module Hd = Sage_rfc.Header_diagram
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let lf s = Result.get_ok (Lf.of_string s)
+
+let echo_struct =
+  Result.get_ok
+    (Hd.parse ~name:"Echo Message"
+       "   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+       \   |     Type      |     Code      |          Checksum             |\n\
+       \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+       \   |           Identifier          |        Sequence Number        |\n\
+       \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+       \   |     Data ...\n\
+       \   +-+-+-+-+-")
+
+let ctx ?role ?field () =
+  Context.dynamic ?field ?role ~struct_def:echo_struct ~protocol:"ICMP"
+    ~message:"Echo or Echo Reply Message" ()
+
+(* ---- context resolution ---- *)
+
+let test_resolve_struct_field () =
+  (match Context.resolve (ctx ()) "checksum" with
+   | Some (Context.Proto_field "checksum") -> ()
+   | other ->
+     Alcotest.failf "checksum -> %s"
+       (match other with Some r -> Fmt.str "%a" Context.pp_resolution r | None -> "None"));
+  match Context.resolve (ctx ()) "the sequence number" with
+  | Some (Context.Proto_field "sequence_number") -> ()
+  | _ -> Alcotest.fail "determiner + field failed"
+
+let test_resolve_field_suffix () =
+  match Context.resolve (ctx ()) "pointer field" with
+  | Some _ -> Alcotest.fail "pointer not in echo struct"
+  | None ->
+    (match Context.resolve (ctx ()) "checksum field" with
+     | Some (Context.Proto_field "checksum") -> ()
+     | _ -> Alcotest.fail "'checksum field' should resolve")
+
+let test_resolve_static () =
+  (match Context.resolve (ctx ()) "source address" with
+   | Some (Context.Ip_field "src") -> ()
+   | _ -> Alcotest.fail "source address");
+  (match Context.resolve (ctx ()) "one's complement sum" with
+   | Some (Context.Framework_fn "ones_complement_sum") -> ()
+   | _ -> Alcotest.fail "framework fn");
+  match Context.resolve (ctx ()) "current time" with
+  | Some (Context.Env_param "current_time") -> ()
+  | _ -> Alcotest.fail "env param"
+
+let test_resolve_message_names () =
+  match Context.resolve (ctx ()) "the echo reply message" with
+  | Some (Context.Message _) -> ()
+  | _ -> Alcotest.fail "message name"
+
+let test_resolve_it_coreference () =
+  (match Context.resolve (ctx ~field:"Checksum" ()) "it" with
+   | Some (Context.Proto_field "checksum") -> ()
+   | _ -> Alcotest.fail "'it' should resolve to the field under description");
+  match Context.resolve (ctx ()) "it" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "'it' without a field context"
+
+let test_resolve_unknown () =
+  check Alcotest.bool "unknown" true (Context.resolve (ctx ()) "frobnicator" = None)
+
+let test_context_rendering () =
+  let rendered = Fmt.str "%a" Context.pp (ctx ~field:"type" ()) in
+  (* Table 4 shape *)
+  check Alcotest.bool "protocol" true
+    (Astring_contains.contains rendered {|"protocol": "ICMP"|});
+  check Alcotest.bool "field" true
+    (Astring_contains.contains rendered {|"field": "type"|})
+
+(* ---- expression lowering ---- *)
+
+let expr s =
+  match Generate.expr_of_lf (ctx ~role:Ir.Receiver ()) (lf s) with
+  | Ok e -> Fmt.str "%a" Ir.pp_expr e
+  | Error e -> Alcotest.failf "expr failed: %s" e
+
+let test_expr_basics () =
+  check Alcotest.string "num" "3" (expr "3");
+  check Alcotest.string "field" "hdr->type" (expr "'type'");
+  check Alcotest.string "ip field" "ip->src" (expr "'source address'");
+  check Alcotest.string "value" "0" (expr "'zero'")
+
+let test_expr_checksum_chain () =
+  (* sentence H's winnowed form *)
+  check Alcotest.string "chain"
+    "complement16(ones_complement_sum(message_from(hdr->type)))"
+    (expr
+       "@Of('16-bit one\\'s complement', @Of('one\\'s complement sum', @StartAt('icmp message', 'icmp type')))")
+
+let test_expr_chain_any_grouping () =
+  (* an alternative isomorphic grouping lowers to the same call chain *)
+  check Alcotest.string "regrouped chain"
+    "complement16(ones_complement_sum(message_from(hdr->type)))"
+    (expr
+       "@StartAt(@Of(@Of('16-bit one\\'s complement', 'one\\'s complement sum'), 'icmp message'), 'icmp type')")
+
+let test_expr_excerpt () =
+  check Alcotest.string "concat excerpt"
+    "concat(env.internet_header, first_64_bits(env.original_datagram_data))"
+    (expr "@Plus('internet header', @Of('first 64 bits', 'original datagram\\'s data'))")
+
+let test_expr_conditions () =
+  check Alcotest.string "eq" "hdr->code == 0" (expr "@Cmp('eq', 'code', 0)");
+  check Alcotest.string "nonzero becomes ne"
+    "hdr->code != 0" (expr "@Cmp('eq', 'code', 'nonzero')");
+  check Alcotest.string "not-1 becomes ne" "hdr->code != 1"
+    (expr "@Cmp('eq', 'code', @Not(1))");
+  check Alcotest.string "and" "(hdr->code == 0 && hdr->type == 8)"
+    (expr "@And(@Cmp('eq', 'code', 0), @Cmp('eq', 'type', 8))")
+
+let test_expr_error_on_unknown_term () =
+  match Generate.expr_of_lf (ctx ()) (lf "'gibberish term'") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown term lowered"
+
+(* ---- statement lowering ---- *)
+
+let stmts ?role ?field s =
+  match Generate.gen_sentence (ctx ?role ?field ()) (lf s) with
+  | Ok pl -> List.map (fun st -> Fmt.str "%a" Ir.pp_stmt st) pl.Generate.stmts
+  | Error e -> Alcotest.failf "gen failed: %s" e
+
+let test_gen_assignment () =
+  check Alcotest.(list string) "Table 4 example" [ "hdr->type = 3;" ]
+    (stmts "@Is('type', 3)")
+
+let test_gen_conditional_assignment () =
+  check
+    Alcotest.(list string)
+    "if"
+    [ "if (hdr->code == 0) {\n    hdr->identifier = 0;\n}" ]
+    (stmts "@If(@Cmp('eq', 'code', 0), @May(@Is('identifier', 0)))")
+
+let test_gen_swap () =
+  check
+    Alcotest.(list string)
+    "exchange"
+    [ "swap_fields(ip->src, ip->dst);" ]
+    (stmts {|@Action("swap", 'source address', 'destination address')|})
+
+let test_gen_recompute () =
+  check
+    Alcotest.(list string)
+    "recompute"
+    [ "hdr->checksum = recompute_checksum();" ]
+    (stmts {|@Action("recompute", 'checksum')|})
+
+let test_gen_discard () =
+  check Alcotest.(list string) "discard" [ "return DISCARD;" ]
+    (stmts "@Discard('packet')")
+
+let test_gen_send_with_reply_destination () =
+  (* "the data in the echo message is returned in the echo reply message" *)
+  match
+    Generate.gen_sentence
+      (ctx ~role:Ir.Receiver ())
+      (lf "@Send('it', @In('data', 'echo message'), 'echo reply message')")
+  with
+  | Ok pl ->
+    check Alcotest.(list string) "copies from request"
+      [ "hdr->data = req_hdr->data;" ]
+      (List.map (fun st -> Fmt.str "%a" Ir.pp_stmt st) pl.Generate.stmts);
+    check Alcotest.(option string) "targets the reply"
+      (Some "echo reply message") pl.Generate.target
+  | Error e -> Alcotest.fail e
+
+let test_gen_goal_sets_target () =
+  match
+    Generate.gen_sentence (ctx ~role:Ir.Receiver ())
+      (lf {|@Goal(@Action("form", 'it', 'echo reply message'), @Set('type', 0))|})
+  with
+  | Ok pl ->
+    check Alcotest.(option string) "target" (Some "echo reply message")
+      pl.Generate.target
+  | Error e -> Alcotest.fail e
+
+let test_gen_advice () =
+  match
+    Generate.gen_sentence (ctx ())
+      (lf "@AdvBefore(@Compute('checksum'), @Must(@Is('checksum', 0)))")
+  with
+  | Ok pl ->
+    check Alcotest.int "no inline stmts" 0 (List.length pl.Generate.stmts);
+    (match pl.Generate.advice with
+     | [ adv ] ->
+       check Alcotest.string "before checksum" "checksum" adv.Generate.before_field;
+       check Alcotest.int "one advice stmt" 1 (List.length adv.Generate.adv_stmts)
+     | other -> Alcotest.failf "expected 1 advice, got %d" (List.length other))
+  | Error e -> Alcotest.fail e
+
+let test_gen_addressing_flip () =
+  (* "The address of the source in an echo message will be the destination
+     of the echo reply message." — receiver writes the reply's destination *)
+  match
+    Generate.gen_sentence (ctx ~role:Ir.Receiver ())
+      (lf
+         "@Is(@In(@Of('address', 'source'), 'echo message'), @Of('destination', 'echo reply message'))")
+  with
+  | Ok pl ->
+    check Alcotest.(list string) "flipped assignment"
+      [ "ip->dst = req_ip->src;" ]
+      (List.map (fun st -> Fmt.str "%a" Ir.pp_stmt st) pl.Generate.stmts)
+  | Error e -> Alcotest.fail e
+
+let test_gen_message_scoping () =
+  (* "the identifier in the echo message may be zero" targets the echo
+     (sender) function only *)
+  match
+    Generate.gen_sentence (ctx ~role:Ir.Receiver ())
+      (lf "@May(@Is(@In('identifier', 'echo message'), 0))")
+  with
+  | Ok pl ->
+    check Alcotest.(option string) "target echo" (Some "echo message")
+      pl.Generate.target
+  | Error e -> Alcotest.fail e
+
+let test_gen_state_update () =
+  let bfd_struct =
+    Result.get_ok
+      (Hd.parse ~name:"bfd"
+         "   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+         \   |Vers |  Diag   |Sta|P|F|C|A|D|M|  Detect Mult  |    Length     |\n\
+         \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+         \   |                       My Discriminator                        |\n\
+         \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+")
+  in
+  let bctx =
+    Context.dynamic ~struct_def:bfd_struct ~protocol:"BFD" ~message:"Reception" ()
+  in
+  match
+    Generate.gen_sentence bctx
+      (lf "@Set('bfd.RemoteDiscr', 'my discriminator field')")
+  with
+  | Ok pl ->
+    check Alcotest.(list string) "state var assign"
+      [ "state->bfd.RemoteDiscr = hdr->my_discriminator;" ]
+      (List.map (fun st -> Fmt.str "%a" Ir.pp_stmt st) pl.Generate.stmts)
+  | Error e -> Alcotest.fail e
+
+let test_gen_descriptive_action_fails () =
+  match
+    Generate.gen_sentence (ctx ()) (lf {|@Action("match", 'it', 'echos')|})
+  with
+  | Error _ -> () (* feeds iterative discovery *)
+  | Ok _ -> Alcotest.fail "descriptive action generated code"
+
+let test_gen_advcomment_is_empty () =
+  match Generate.gen_sentence (ctx ()) (lf "@AdvComment('anything')") with
+  | Ok pl -> check Alcotest.int "no code" 0 (List.length pl.Generate.stmts)
+  | Error e -> Alcotest.fail e
+
+let test_handler_inventory () =
+  (* §6.1: "we defined 25 predicate handler functions" *)
+  check Alcotest.int "25 handlers" 25 Generate.handler_count
+
+(* ---- assembler ---- *)
+
+let test_assemble_ordering () =
+  let checksum_assign =
+    Ir.Assign (Ir.Lfield (Ir.Proto, "checksum"), Ir.Call ("recompute_checksum", []))
+  in
+  let type_assign = Ir.Assign (Ir.Lfield (Ir.Proto, "type"), Ir.Int 0) in
+  let advice =
+    { Generate.before_field = "checksum";
+      adv_stmts = [ Ir.Assign (Ir.Lfield (Ir.Proto, "checksum"), Ir.Int 0) ] }
+  in
+  let items =
+    [
+      { Assemble.sentence = "checksum sentence";
+        placement = Some { Generate.stmts = [ checksum_assign ]; advice = [ advice ]; target = None } };
+      { Assemble.sentence = "type sentence";
+        placement = Some { Generate.stmts = [ type_assign ]; advice = []; target = None } };
+    ]
+  in
+  let funcs =
+    Assemble.assemble ~protocol:"ICMP"
+      ~variants:
+        [ { Assemble.variant_message = "echo message"; variant_role = Ir.Sender;
+            fixed_assignments = [] } ]
+      ~items
+  in
+  match funcs with
+  | [ f ] ->
+    let rendered = List.map (fun st -> Fmt.str "%a" Ir.pp_stmt st) f.Ir.body in
+    check
+      Alcotest.(list string)
+      "advice precedes checksum, checksum last"
+      [ "hdr->type = 0;"; "hdr->checksum = 0;";
+        "hdr->checksum = recompute_checksum();" ]
+      rendered
+  | _ -> Alcotest.fail "expected one function"
+
+let test_assemble_targeting () =
+  let sender_stmt = Ir.Assign (Ir.Lfield (Ir.Proto, "identifier"), Ir.Int 0) in
+  let items =
+    [
+      { Assemble.sentence = "scoped";
+        placement =
+          Some { Generate.stmts = [ sender_stmt ]; advice = [];
+                 target = Some "echo message" } };
+    ]
+  in
+  let funcs =
+    Assemble.assemble ~protocol:"ICMP"
+      ~variants:
+        [
+          { Assemble.variant_message = "Echo Message"; variant_role = Ir.Sender;
+            fixed_assignments = [] };
+          { Assemble.variant_message = "Echo Reply Message";
+            variant_role = Ir.Receiver; fixed_assignments = [] };
+        ]
+      ~items
+  in
+  (match funcs with
+   | [ sender; receiver ] ->
+     check Alcotest.int "sender has it" 1 (List.length sender.Ir.body);
+     check Alcotest.int "receiver does not" 0 (List.length receiver.Ir.body)
+   | _ -> Alcotest.fail "expected two functions")
+
+let test_assemble_non_actionable_comment () =
+  let items = [ { Assemble.sentence = "future work"; placement = None } ] in
+  let funcs =
+    Assemble.assemble ~protocol:"ICMP"
+      ~variants:
+        [ { Assemble.variant_message = "echo message"; variant_role = Ir.Sender;
+            fixed_assignments = [] } ]
+      ~items
+  in
+  match (List.hd funcs).Ir.body with
+  | [ Ir.Comment "future work" ] -> ()
+  | _ -> Alcotest.fail "expected a comment"
+
+let test_function_names () =
+  check Alcotest.string "name"
+    "icmp_echo_reply_receiver"
+    (Assemble.function_name ~protocol:"ICMP" ~message:"Echo Reply Message"
+       ~role:Ir.Receiver)
+
+let test_message_matches () =
+  check Alcotest.bool "exact" true
+    (Assemble.message_matches ~target:"echo message" ~variant:"Echo Message");
+  check Alcotest.bool "determiner" true
+    (Assemble.message_matches ~target:"an echo reply message"
+       ~variant:"Echo Reply Message");
+  check Alcotest.bool "echo != echo reply" false
+    (Assemble.message_matches ~target:"echo message" ~variant:"Echo Reply Message")
+
+(* ---- C printer ---- *)
+
+let test_c_program () =
+  let f =
+    {
+      Ir.fn_name = "icmp_echo_sender"; protocol = "ICMP";
+      message = "echo message"; role = Ir.Sender;
+      body = [ Ir.Assign (Ir.Lfield (Ir.Proto, "type"), Ir.Int 8) ];
+    }
+  in
+  let program = C.render_program ~protocol:"ICMP" ~structs:[ echo_struct ] ~funcs:[ f ] in
+  check Alcotest.bool "includes stdint" true
+    (Astring_contains.contains program "#include <stdint.h>");
+  check Alcotest.bool "has struct" true
+    (Astring_contains.contains program "struct echo_message");
+  check Alcotest.bool "has function" true
+    (Astring_contains.contains program "void icmp_echo_sender(void)");
+  check Alcotest.bool "has framework decls" true
+    (Astring_contains.contains program "extern uint16_t ones_complement_sum")
+
+let suite =
+  [
+    tc "resolve struct fields" test_resolve_struct_field;
+    tc "resolve ' field' suffix" test_resolve_field_suffix;
+    tc "resolve static context" test_resolve_static;
+    tc "resolve message names" test_resolve_message_names;
+    tc "resolve 'it' co-reference" test_resolve_it_coreference;
+    tc "resolve unknown" test_resolve_unknown;
+    tc "context renders like Table 4" test_context_rendering;
+    tc "expr basics" test_expr_basics;
+    tc "expr checksum chain (H)" test_expr_checksum_chain;
+    tc "expr chain any grouping" test_expr_chain_any_grouping;
+    tc "expr original-datagram excerpt (B)" test_expr_excerpt;
+    tc "expr conditions" test_expr_conditions;
+    tc "expr unknown term fails" test_expr_error_on_unknown_term;
+    tc "gen assignment (Table 4)" test_gen_assignment;
+    tc "gen conditional assignment" test_gen_conditional_assignment;
+    tc "gen swap" test_gen_swap;
+    tc "gen recompute" test_gen_recompute;
+    tc "gen discard" test_gen_discard;
+    tc "gen reply copy with target" test_gen_send_with_reply_destination;
+    tc "gen goal sets target" test_gen_goal_sets_target;
+    tc "gen advice (Fig 2)" test_gen_advice;
+    tc "gen addressing flip" test_gen_addressing_flip;
+    tc "gen message scoping" test_gen_message_scoping;
+    tc "gen BFD state update" test_gen_state_update;
+    tc "gen descriptive action fails" test_gen_descriptive_action_fails;
+    tc "gen @AdvComment empty" test_gen_advcomment_is_empty;
+    tc "25 predicate handlers (6.1)" test_handler_inventory;
+    tc "assemble: advice + checksum ordering" test_assemble_ordering;
+    tc "assemble: message targeting" test_assemble_targeting;
+    tc "assemble: non-actionable comments" test_assemble_non_actionable_comment;
+    tc "function naming" test_function_names;
+    tc "message matching" test_message_matches;
+    tc "C program rendering" test_c_program;
+  ]

@@ -1,0 +1,252 @@
+(* Tests for the winnowing checks (paper §4.2) and driver. *)
+
+module Lf = Sage_logic.Lf
+module Checks = Sage_disambig.Checks
+module Winnow = Sage_disambig.Winnow
+module Sort = Sage_disambig.Sort
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let lf s = Result.get_ok (Lf.of_string s)
+
+let find_check name =
+  List.find (fun c -> c.Checks.name = name) Checks.all_filters
+
+let violates name s = (find_check name).Checks.violates (lf s)
+
+(* ---- sorts ---- *)
+
+let test_sorts () =
+  let s x = Sort.to_string (Sort.of_lf (lf x)) in
+  check Alcotest.string "term" "entity" (s "'checksum'");
+  check Alcotest.string "num" "entity" (s "7");
+  check Alcotest.string "of-chain" "entity" (s "@Of('a', 'b')");
+  check Alcotest.string "gerund" "event" (s "@Compute('checksum')");
+  check Alcotest.string "assignment" "clause" (s "@Is('a', 0)");
+  check Alcotest.string "name" "name" (s {|"reverse"|});
+  check Alcotest.string "negated number" "entity" (s "@Not(1)");
+  check Alcotest.string "negated clause" "clause" (s "@Not(@Is('a', 0))")
+
+(* ---- type checks ---- *)
+
+let test_action_fname () =
+  check Alcotest.bool "numeric fname is ill-typed" true
+    (violates "action-fname-is-name" "@Action(3, 'checksum')");
+  check Alcotest.bool "string fname fine" false
+    (violates "action-fname-is-name" {|@Action("reverse", 'addresses')|})
+
+let test_is_lhs_constant () =
+  check Alcotest.bool "constant lhs rejected" true
+    (violates "is-lhs-not-constant" "@Is(0, 'checksum')");
+  check Alcotest.bool "field lhs fine" false
+    (violates "is-lhs-not-constant" "@Is('checksum', 0)")
+
+let test_of_over_clause () =
+  (* the over-generated "A of (B is C)" attachment *)
+  check Alcotest.bool "of over clause rejected" true
+    (violates "of-args-are-entities" "@Of('a', @Is('b', 'c'))");
+  check Alcotest.bool "of over entities fine" false
+    (violates "of-args-are-entities" "@Of('a', 'b')")
+
+let test_coordination_homogeneous () =
+  check Alcotest.bool "mixed sorts rejected" true
+    (violates "and-homogeneous" "@And(@Is('a', 0), 'b')");
+  check Alcotest.bool "entity pair fine" false
+    (violates "and-homogeneous" "@And('a', 'b')");
+  check Alcotest.bool "clause pair fine" false
+    (violates "and-homogeneous" "@And(@Is('a', 0), @Is('b', 0))")
+
+let test_advice_context () =
+  check Alcotest.bool "event context fine" false
+    (violates "advice-context-is-event"
+       "@AdvBefore(@Compute('checksum'), @Is('checksum', 0))");
+  check Alcotest.bool "flipped advice rejected" true
+    (violates "advice-context-is-event"
+       "@AdvBefore(@Is('checksum', 0), @Compute('checksum'))")
+
+let test_aid_under_purpose () =
+  check Alcotest.bool "top-level aid rejected" true
+    (violates "aid-only-under-purpose" {|@Action("aid", 'identifier')|});
+  check Alcotest.bool "purposive aid fine" false
+    (violates "aid-only-under-purpose"
+       {|@Purpose('identifier', @Action("aid", 'identifier'))|})
+
+(* ---- argument-ordering checks ---- *)
+
+let test_if_condition_first () =
+  check Alcotest.bool "swapped rejected" true
+    (violates "if-condition-first"
+       "@If(@May(@Is('identifier', 0)), @Cmp('eq', 'code', 0))");
+  check Alcotest.bool "correct order fine" false
+    (violates "if-condition-first"
+       "@If(@Cmp('eq', 'code', 0), @May(@Is('identifier', 0)))")
+
+let test_cmp_constant_position () =
+  check Alcotest.bool "constant-vs-field rejected" true
+    (violates "cmp-constant-on-right" "@Cmp('eq', 0, 'code')");
+  check Alcotest.bool "field-vs-constant fine" false
+    (violates "cmp-constant-on-right" "@Cmp('eq', 'code', 0)")
+
+(* ---- predicate-ordering checks ---- *)
+
+let test_no_is_under_of () =
+  check Alcotest.bool "is under of rejected" true
+    (violates "no-is-under-of" "@Of('a', @Is('b', 0))")
+
+let test_no_if_under_modal () =
+  check Alcotest.bool "may over if rejected" true
+    (violates "no-if-under-modal" "@May(@If(@Cmp('eq', 'a', 0), @Is('b', 0)))")
+
+let test_no_if_under_and () =
+  check Alcotest.bool "if as conjunct rejected" true
+    (violates "no-if-under-and"
+       "@And(@If(@Cmp('eq', 'a', 0), @Is('b', 0)), @Is('c', 0))")
+
+let test_of_binds_tighter_than_plus () =
+  check Alcotest.bool "plus under of rejected" true
+    (violates "of-binds-tighter-than-plus" "@Of(@Plus('a', 'b'), 'c')");
+  check Alcotest.bool "of under plus fine" false
+    (violates "of-binds-tighter-than-plus" "@Plus('a', @Of('b', 'c'))")
+
+(* ---- condition normalization ---- *)
+
+let test_normalize_condition () =
+  let normalized =
+    Checks.normalize_condition (lf "@If(@Is('code', 0), @Is('identifier', 0))")
+  in
+  check Alcotest.string "test in condition, assignment in body"
+    "@If(@Cmp('eq', 'code', 0), @Is('identifier', 0))"
+    (Lf.to_string normalized)
+
+(* ---- distributivity ---- *)
+
+let test_distribute () =
+  match Checks.distribute (lf "@Is(@And('a', 'b'), 0)") with
+  | Some d ->
+    check Alcotest.string "distributed form"
+      "@And(@Is('a', 0), @Is('b', 0))" (Lf.to_string d)
+  | None -> Alcotest.fail "expected distribution"
+
+let test_select_non_distributive () =
+  let grouped = lf "@Is(@And('a', 'b'), 0)" in
+  let distributed = lf "@And(@Is('a', 0), @Is('b', 0))" in
+  let survivors, removed = Checks.select_non_distributive [ grouped; distributed ] in
+  check Alcotest.int "one removed" 1 removed;
+  check Alcotest.bool "grouped kept" true
+    (List.exists (Lf.equal grouped) survivors)
+
+let test_select_keeps_lone_distributed () =
+  let distributed = lf "@And(@Is('a', 0), @Is('b', 0))" in
+  let survivors, removed = Checks.select_non_distributive [ distributed ] in
+  check Alcotest.int "nothing removed" 0 removed;
+  check Alcotest.int "kept" 1 (List.length survivors)
+
+(* ---- associativity / isomorphism ---- *)
+
+let test_merge_isomorphic () =
+  let a = lf "@Is('x', @Of(@Of('a', 'b'), 'c'))" in
+  let b = lf "@Is('x', @Of('a', @Of('b', 'c')))" in
+  let survivors, merged = Checks.merge_isomorphic [ a; b ] in
+  check Alcotest.int "merged to one" 1 (List.length survivors);
+  check Alcotest.int "one merged away" 1 merged
+
+let test_merge_startat_family () =
+  (* Figure 3: @StartAt participates in the @Of chain *)
+  let a = lf "@Of('f', @StartAt('msg', 'type'))" in
+  let b = lf "@StartAt(@Of('f', 'msg'), 'type')" in
+  let survivors, _ = Checks.merge_isomorphic [ a; b ] in
+  check Alcotest.int "isomorphic" 1 (List.length survivors)
+
+let test_merge_keeps_distinct () =
+  let a = lf "@Is('x', 0)" and b = lf "@Is('x', 1)" in
+  let survivors, merged = Checks.merge_isomorphic [ a; b ] in
+  check Alcotest.int "distinct kept" 2 (List.length survivors);
+  check Alcotest.int "none merged" 0 merged
+
+(* ---- winnow driver ---- *)
+
+let test_winnow_order_and_trace () =
+  let lfs =
+    [
+      lf "@Is('checksum', 0)";
+      lf "@Is(0, 'checksum')" (* type-check victim *);
+      lf "@Of('a', @Is('checksum', 0))" (* over-generated attachment *);
+    ]
+  in
+  let tr = Winnow.winnow lfs in
+  check Alcotest.int "base" 3 tr.Winnow.base;
+  check Alcotest.int "one survivor" 1 (List.length tr.Winnow.survivors);
+  let labels = List.map fst (Winnow.stage_counts tr) in
+  check
+    Alcotest.(list string)
+    "stage order (Figure 5)"
+    [ "Base"; "Type"; "ArgOrd"; "PredOrd"; "Distrib"; "Assoc" ]
+    labels
+
+let test_winnow_counts_monotone () =
+  let lfs =
+    [
+      lf "@Is('checksum', 0)";
+      lf "@Is(0, 'checksum')";
+      lf "@Is('checksum', 1)";
+      lf "@And(@Is('a', 0), 'b')";
+    ]
+  in
+  let tr = Winnow.winnow lfs in
+  let counts = List.map snd (Winnow.stage_counts tr) in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a >= b && monotone rest
+    | _ -> true
+  in
+  check Alcotest.bool "counts never increase" true (monotone counts)
+
+let test_winnow_empty () =
+  let tr = Winnow.winnow [] in
+  check Alcotest.int "no survivors" 0 (List.length tr.Winnow.survivors);
+  check Alcotest.bool "not ambiguous" false (Winnow.is_ambiguous tr)
+
+let test_apply_single_family () =
+  let lfs = [ lf "@Is('checksum', 0)"; lf "@Is(0, 'checksum')" ] in
+  check Alcotest.int "type alone removes 1" 1
+    (Winnow.apply_single_family Checks.Type_check lfs);
+  check Alcotest.int "assoc alone removes 0" 0
+    (Winnow.apply_single_family Checks.Associativity lfs)
+
+let test_check_inventory () =
+  (* §6.1: 32 type checks, 7 argument-ordering checks; predicate ordering
+     grows with protocols *)
+  check Alcotest.int "34 type checks (paper: 32)" 34 (List.length Checks.type_checks);
+  check Alcotest.int "7 argument-ordering checks" 7
+    (List.length Checks.arg_order_checks);
+  check Alcotest.bool "predicate-ordering checks >= 4" true
+    (List.length Checks.icmp_pred_order_checks >= 4)
+
+let suite =
+  [
+    tc "sorts" test_sorts;
+    tc "type: action fname" test_action_fname;
+    tc "type: assignment lhs" test_is_lhs_constant;
+    tc "type: of over clause" test_of_over_clause;
+    tc "type: homogeneous coordination" test_coordination_homogeneous;
+    tc "type: advice context" test_advice_context;
+    tc "type: purposive verbs" test_aid_under_purpose;
+    tc "argord: if condition first" test_if_condition_first;
+    tc "argord: cmp constant position" test_cmp_constant_position;
+    tc "predord: no is under of" test_no_is_under_of;
+    tc "predord: no if under modal" test_no_if_under_modal;
+    tc "predord: no if under and" test_no_if_under_and;
+    tc "predord: of binds tighter than plus" test_of_binds_tighter_than_plus;
+    tc "condition normalization" test_normalize_condition;
+    tc "distribute" test_distribute;
+    tc "select non-distributive" test_select_non_distributive;
+    tc "lone distributed kept" test_select_keeps_lone_distributed;
+    tc "merge isomorphic of-chains" test_merge_isomorphic;
+    tc "merge @StartAt family (Fig 3)" test_merge_startat_family;
+    tc "distinct LFs not merged" test_merge_keeps_distinct;
+    tc "winnow stage order and trace" test_winnow_order_and_trace;
+    tc "winnow counts monotone" test_winnow_counts_monotone;
+    tc "winnow empty" test_winnow_empty;
+    tc "apply single family (Fig 6)" test_apply_single_family;
+    tc "check inventory (6.1)" test_check_inventory;
+  ]

@@ -1,0 +1,215 @@
+(* Tests for the NLP substrate: tokenizer, sentence splitter, term
+   dictionary, POS lexicon, and NP chunker. *)
+
+module Tok = Sage_nlp.Tokenizer
+module Token = Sage_nlp.Token
+module Dict = Sage_nlp.Term_dictionary
+module Chunker = Sage_nlp.Chunker
+module Pos = Sage_nlp.Pos
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ---- tokenizer ---- *)
+
+let words s = Tok.words s
+
+let test_tokenize_simple () =
+  check Alcotest.(list string) "words" [ "the"; "checksum"; "is"; "zero" ]
+    (words "The checksum is zero.")
+
+let test_tokenize_hyphen () =
+  check Alcotest.(list string) "hyphenated"
+    [ "time-to-live"; "field" ]
+    (words "time-to-live field")
+
+let test_tokenize_apostrophe () =
+  check Alcotest.(list string) "apostrophe"
+    [ "one's"; "complement" ]
+    (words "one's complement")
+
+let test_tokenize_dotted_identifier () =
+  check Alcotest.(list string) "dotted"
+    [ "bfd.sessionstate"; "is"; "up" ]
+    (words "bfd.SessionState is Up")
+
+let test_tokenize_number_unit () =
+  check Alcotest.(list string) "16-bit"
+    [ "16-bit"; "one's"; "complement" ]
+    (words "16-bit one's complement")
+
+let test_tokenize_equation () =
+  let toks = Tok.tokenize "code = 0" in
+  check Alcotest.int "three tokens" 3 (List.length toks);
+  (match toks with
+   | [ a; b; c ] ->
+     check Alcotest.bool "word" true (Token.is_word a);
+     check Alcotest.string "symbol" "=" b.Token.text;
+     check Alcotest.bool "number" true (Token.is_number c)
+   | _ -> Alcotest.fail "expected 3 tokens")
+
+let test_tokenize_address () =
+  check Alcotest.(list string) "address with prefix"
+    [ "10.0.1.1/24" ]
+    (words "10.0.1.1/24")
+
+let test_tokenize_offsets () =
+  let toks = Tok.tokenize "ab cd" in
+  match toks with
+  | [ a; b ] ->
+    check Alcotest.int "first offset" 0 a.Token.start;
+    check Alcotest.int "second offset" 3 b.Token.start
+  | _ -> Alcotest.fail "expected 2 tokens"
+
+(* ---- sentence splitter ---- *)
+
+let test_sentences_basic () =
+  check Alcotest.int "two sentences" 2
+    (List.length (Tok.sentences "First sentence. Second sentence."))
+
+let test_sentences_abbreviation () =
+  check Alcotest.int "e.g. does not split" 1
+    (List.length (Tok.sentences "Numbers, e.g. port numbers, are big-endian."))
+
+let test_sentences_dotted_identifier () =
+  check Alcotest.int "bfd.SessionState does not split" 1
+    (List.length (Tok.sentences "Then bfd.SessionState is set to Up."))
+
+let test_sentences_newlines_joined () =
+  let ss = Tok.sentences "The checksum is\nthe 16-bit sum." in
+  check Alcotest.int "joined" 1 (List.length ss);
+  check Alcotest.string "no newline" "The checksum is the 16-bit sum."
+    (List.hd ss)
+
+let test_sentences_blank_line_breaks () =
+  check Alcotest.int "paragraph break" 2
+    (List.length (Tok.sentences "First fragment\n\nSecond fragment"))
+
+(* ---- dictionary ---- *)
+
+let dict = Dict.base ()
+
+let test_dict_size () =
+  (* the paper's dictionary has ~400 terms *)
+  let n = Dict.size dict in
+  check Alcotest.bool (Printf.sprintf "size %d in [350,500]" n) true
+    (n >= 350 && n <= 500)
+
+let test_dict_mem () =
+  check Alcotest.bool "checksum" true (Dict.mem dict "checksum");
+  check Alcotest.bool "echo reply message" true (Dict.mem dict "echo reply message");
+  check Alcotest.bool "case insensitive" true (Dict.mem dict "Echo Reply Message");
+  check Alcotest.bool "absent" false (Dict.mem dict "flux capacitor")
+
+let test_dict_longest_match () =
+  check Alcotest.int "3-word phrase" 3
+    (Dict.longest_match dict [ "echo"; "reply"; "message"; "is" ]);
+  check Alcotest.int "1-word" 1 (Dict.longest_match dict [ "checksum"; "is" ]);
+  check Alcotest.int "none" 0 (Dict.longest_match dict [ "xyzzy"; "plugh" ])
+
+let test_dict_extend () =
+  let d2 = Dict.extend dict [ "bfd.SessionState"; "my new phrase" ] in
+  check Alcotest.bool "extended" true (Dict.mem d2 "my new phrase");
+  check Alcotest.bool "original untouched" false (Dict.mem dict "my new phrase");
+  check Alcotest.int "size grows" (Dict.size dict + 2) (Dict.size d2)
+
+let test_dict_empty () =
+  check Alcotest.int "empty" 0 (Dict.size Dict.empty);
+  check Alcotest.int "no match" 0 (Dict.longest_match Dict.empty [ "checksum" ])
+
+(* ---- POS ---- *)
+
+let test_pos_tags () =
+  check Alcotest.bool "is aux" true (Pos.is_aux "is");
+  check Alcotest.bool "may aux" true (Pos.is_aux "may");
+  check Alcotest.bool "of prep" true (Pos.is_prep "of");
+  check Alcotest.bool "send verb" true (Pos.is_verb "send");
+  check Alcotest.bool "unknown noun-like" true
+    (Pos.is_noun_like (Pos.tag_of_word "discombobulator"))
+
+(* ---- chunker ---- *)
+
+let chunk s = Chunker.chunk_sentence ~dict s
+
+let chunk_texts s =
+  List.map (fun (c : Chunker.chunk) -> c.Chunker.text) (chunk s)
+
+let test_chunk_collapses_phrase () =
+  check Alcotest.(list string) "echo reply message is one chunk"
+    [ "the"; "echo reply message"; "is"; "sent" ]
+    (chunk_texts "the echo reply message is sent")
+
+let test_chunk_np_flags () =
+  let cs = chunk "the echo reply message is sent" in
+  let np_texts =
+    List.filter_map
+      (fun (c : Chunker.chunk) -> if c.Chunker.is_np then Some c.Chunker.text else None)
+      cs
+  in
+  check Alcotest.(list string) "only the phrase is an NP"
+    [ "echo reply message" ] np_texts
+
+let test_chunk_generic_np () =
+  (* unknown nouns still group via Det? Adj* Noun+ *)
+  let cs = chunk "the original framboozle is zero" in
+  check Alcotest.bool "framboozle chunked as NP" true
+    (List.exists
+       (fun (c : Chunker.chunk) ->
+         c.Chunker.is_np && c.Chunker.text = "original framboozle")
+       cs)
+
+let test_chunk_first_match_shorter () =
+  (* Table 7: poor labels split "echo reply message" *)
+  let d = Dict.base () in
+  let long = Chunker.chunk_sentence ~dict:d "the echo reply message is sent" in
+  let short =
+    Chunker.chunk_sentence ~strategy:Chunker.First_match ~dict:d
+      "the echo reply message is sent"
+  in
+  check Alcotest.bool "first-match yields more chunks" true
+    (List.length short > List.length long)
+
+let test_chunk_no_labeling () =
+  let cs =
+    Chunker.chunk_sentence ~strategy:Chunker.No_labeling ~dict
+      "the echo reply message is sent"
+  in
+  check Alcotest.int "every token its own chunk" 6 (List.length cs);
+  check Alcotest.bool "no NPs" true (Chunker.np_count cs = 0)
+
+let test_chunk_no_dictionary () =
+  let cs =
+    Chunker.chunk_sentence ~strategy:Chunker.No_dictionary ~dict
+      "the echo reply message is sent"
+  in
+  (* generic rule still groups the noun run *)
+  check Alcotest.bool "generic NP formed" true (Chunker.np_count cs >= 1)
+
+let suite =
+  [
+    tc "tokenize simple" test_tokenize_simple;
+    tc "tokenize hyphen" test_tokenize_hyphen;
+    tc "tokenize apostrophe" test_tokenize_apostrophe;
+    tc "tokenize dotted identifier" test_tokenize_dotted_identifier;
+    tc "tokenize number-unit" test_tokenize_number_unit;
+    tc "tokenize equation" test_tokenize_equation;
+    tc "tokenize address" test_tokenize_address;
+    tc "tokenize offsets" test_tokenize_offsets;
+    tc "sentences basic" test_sentences_basic;
+    tc "sentences abbreviation" test_sentences_abbreviation;
+    tc "sentences dotted identifier" test_sentences_dotted_identifier;
+    tc "sentences newline join" test_sentences_newlines_joined;
+    tc "sentences paragraph break" test_sentences_blank_line_breaks;
+    tc "dictionary size ~400" test_dict_size;
+    tc "dictionary membership" test_dict_mem;
+    tc "dictionary longest match" test_dict_longest_match;
+    tc "dictionary extend" test_dict_extend;
+    tc "dictionary empty" test_dict_empty;
+    tc "pos tags" test_pos_tags;
+    tc "chunk collapses phrase" test_chunk_collapses_phrase;
+    tc "chunk NP flags" test_chunk_np_flags;
+    tc "chunk generic NP" test_chunk_generic_np;
+    tc "chunk first-match (Table 7 poor labels)" test_chunk_first_match_shorter;
+    tc "chunk no labeling (Table 8)" test_chunk_no_labeling;
+    tc "chunk no dictionary (Table 8)" test_chunk_no_dictionary;
+  ]

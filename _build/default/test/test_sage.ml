@@ -1,0 +1,22 @@
+(* Test runner: every library's suite registered under its own section. *)
+
+let () =
+  Alcotest.run "sage"
+    [
+      ("logic/lf", Test_lf.suite);
+      ("nlp", Test_nlp.suite);
+      ("ccg", Test_ccg.suite);
+      ("disambig", Test_disambig.suite);
+      ("net", Test_net.suite);
+      ("rfc", Test_rfc.suite);
+      ("codegen", Test_codegen.suite);
+      ("interp", Test_interp.suite);
+      ("sim", Test_sim.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("interop", Test_interop.suite);
+      ("extensions", Test_extensions.suite);
+      ("golden", Test_golden.suite);
+      ("pseudo-code", Test_pseudo_code.suite);
+      ("misc", Test_misc.suite);
+      ("checks-table", Test_checks_table.suite);
+    ]

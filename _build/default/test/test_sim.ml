@@ -1,0 +1,384 @@
+(* Tests for the Mininet-lite network, ping/traceroute clients, and the
+   student fault model, against the hand-written reference service. *)
+
+module Addr = Sage_net.Addr
+module Ipv4 = Sage_net.Ipv4
+module Icmp = Sage_net.Icmp
+module Net = Sage_sim.Network
+module Ping = Sage_sim.Ping
+module Tr = Sage_sim.Traceroute
+module Svc = Sage_sim.Icmp_service
+module Sm = Sage_sim.Student_model
+module Tcpdump = Sage_net.Tcpdump
+module Pcap = Sage_net.Pcap
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let fresh_net () = Net.default_topology ()
+
+(* ---- topology and router behaviors (Appendix A scenarios) ---- *)
+
+let craft_ip ?(ttl = 64) ?(tos = 0) ~src ~dst ~protocol payload =
+  let hdr = Ipv4.make ~ttl ~tos ~protocol ~src ~dst ~payload_len:(Bytes.length payload) () in
+  Ipv4.encode hdr ~payload
+
+let echo_payload = Icmp.encode
+    (Icmp.Echo { Icmp.echo_code = 0; identifier = 1; sequence = 1;
+                 payload = Bytes.of_string "x" })
+
+let test_ping_reference_router () =
+  let net = fresh_net () in
+  let res = Ping.ping ~net (Net.router_client_iface net) in
+  check Alcotest.bool "router answers ping" true (Ping.success res)
+
+let test_ping_reference_server () =
+  let net = fresh_net () in
+  let res = Ping.ping ~net (Net.server1_addr net) in
+  check Alcotest.bool "forwarded ping succeeds" true (Ping.success res)
+
+let test_destination_unreachable_scenario () =
+  let net = fresh_net () in
+  let dgram =
+    craft_ip ~src:(Net.client_addr net) ~dst:(Net.unknown_addr net)
+      ~protocol:Ipv4.protocol_icmp echo_payload
+  in
+  match Net.send net ~from:(Net.client_addr net) dgram with
+  | Net.Icmp_response resp ->
+    (match Ipv4.decode resp with
+     | Ok (hdr, body) ->
+       check Alcotest.int "type 3" Icmp.type_destination_unreachable
+         (Sage_net.Bytes_util.get_u8 body 0);
+       check Alcotest.string "addressed to client"
+         (Addr.to_string (Net.client_addr net))
+         (Addr.to_string hdr.Ipv4.dst)
+     | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "expected an ICMP error"
+
+let test_time_exceeded_scenario () =
+  let net = fresh_net () in
+  let dgram =
+    craft_ip ~ttl:1 ~src:(Net.client_addr net) ~dst:(Net.server1_addr net)
+      ~protocol:Ipv4.protocol_icmp echo_payload
+  in
+  match Net.send net ~from:(Net.client_addr net) dgram with
+  | Net.Icmp_response resp ->
+    (match Ipv4.decode resp with
+     | Ok (_, body) ->
+       check Alcotest.int "type 11" Icmp.type_time_exceeded
+         (Sage_net.Bytes_util.get_u8 body 0)
+     | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "expected time exceeded"
+
+let test_parameter_problem_scenario () =
+  let net = fresh_net () in
+  let dgram =
+    craft_ip ~tos:1 ~src:(Net.client_addr net) ~dst:(Net.server1_addr net)
+      ~protocol:Ipv4.protocol_icmp echo_payload
+  in
+  match Net.send net ~from:(Net.client_addr net) dgram with
+  | Net.Icmp_response resp ->
+    (match Ipv4.decode resp with
+     | Ok (_, body) ->
+       check Alcotest.int "type 12" Icmp.type_parameter_problem
+         (Sage_net.Bytes_util.get_u8 body 0);
+       check Alcotest.int "pointer at ToS octet" 1
+         (Sage_net.Bytes_util.get_u8 body 4)
+     | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "expected parameter problem"
+
+let test_source_quench_scenario () =
+  let net = fresh_net () in
+  Net.set_buffer_full net true;
+  let dgram =
+    craft_ip ~src:(Net.client_addr net) ~dst:(Net.server1_addr net)
+      ~protocol:Ipv4.protocol_icmp echo_payload
+  in
+  match Net.send net ~from:(Net.client_addr net) dgram with
+  | Net.Icmp_response resp ->
+    (match Ipv4.decode resp with
+     | Ok (_, body) ->
+       check Alcotest.int "type 4" Icmp.type_source_quench
+         (Sage_net.Bytes_util.get_u8 body 0)
+     | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "expected source quench"
+
+let test_frag_needed_scenario () =
+  let net = fresh_net () in
+  Net.set_mtu net 100;
+  let big_payload = Icmp.encode
+      (Icmp.Echo { Icmp.echo_code = 0; identifier = 1; sequence = 1;
+                   payload = Bytes.make 200 'x' }) in
+  let hdr =
+    Ipv4.make ~src:(Net.client_addr net) ~dst:(Net.server1_addr net)
+      ~protocol:Ipv4.protocol_icmp ~payload_len:(Bytes.length big_payload) ()
+  in
+  let hdr = { hdr with Ipv4.flags = 0b010 (* DF *) } in
+  let dgram = Ipv4.encode hdr ~payload:big_payload in
+  (match Net.send net ~from:(Net.client_addr net) dgram with
+   | Net.Icmp_response resp ->
+     (match Ipv4.decode resp with
+      | Ok (_, body) ->
+        check Alcotest.int "type 3" Icmp.type_destination_unreachable
+          (Sage_net.Bytes_util.get_u8 body 0);
+        check Alcotest.int "code 4 (frag needed, DF set)" 4
+          (Sage_net.Bytes_util.get_u8 body 1)
+      | Error e -> Alcotest.fail e)
+   | _ -> Alcotest.fail "expected fragmentation-needed error");
+  (* without DF the same datagram is forwarded *)
+  let hdr = { hdr with Ipv4.flags = 0 } in
+  let dgram = Ipv4.encode hdr ~payload:big_payload in
+  match Net.send net ~from:(Net.client_addr net) dgram with
+  | Net.Replied _ -> ()
+  | _ -> Alcotest.fail "non-DF datagram should be forwarded"
+
+let test_fragmented_delivery () =
+  (* a large non-DF ping is fragmented at the router, reassembled at the
+     destination, and still answered correctly; the capture shows the
+     fragments and tcpdump describes them without warnings *)
+  let net = fresh_net () in
+  Net.set_mtu net 100;
+  let res = Ping.ping ~count:1 ~payload_len:200 ~net (Net.server1_addr net) in
+  check Alcotest.bool "large ping succeeds across fragmentation" true
+    (Ping.success res);
+  match Pcap.of_bytes (Pcap.to_bytes (Net.capture net)) with
+  | Ok records ->
+    let verdicts = Tcpdump.inspect_capture records in
+    let frags =
+      List.filter
+        (fun v ->
+          let d = v.Tcpdump.description in
+          let rec has i =
+            i + 4 <= String.length d && (String.sub d i 4 = "frag" || has (i + 1))
+          in
+          has 0)
+        verdicts
+    in
+    check Alcotest.bool "fragments captured" true (List.length frags >= 2);
+    List.iter
+      (fun v ->
+        check Alcotest.(list string)
+          ("clean: " ^ v.Tcpdump.description)
+          [] v.Tcpdump.warnings)
+      frags
+  | Error e -> Alcotest.fail e
+
+let test_redirect_scenario () =
+  let net = fresh_net () in
+  (* a destination on the client's own subnet, but routed via the router *)
+  let same_subnet = Addr.of_string_exn "10.0.1.99" in
+  let dgram =
+    craft_ip ~src:(Net.client_addr net) ~dst:same_subnet
+      ~protocol:Ipv4.protocol_icmp echo_payload
+  in
+  match Net.send net ~from:(Net.client_addr net) dgram with
+  | Net.Icmp_response resp ->
+    (match Ipv4.decode resp with
+     | Ok (_, body) ->
+       check Alcotest.int "type 5" Icmp.type_redirect
+         (Sage_net.Bytes_util.get_u8 body 0)
+     | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "expected redirect"
+
+let test_capture_records_traffic () =
+  let net = fresh_net () in
+  ignore (Ping.ping ~count:1 ~net (Net.server1_addr net));
+  check Alcotest.bool "packets captured" true
+    (Pcap.packet_count (Net.capture net) >= 2)
+
+(* ---- ping client ---- *)
+
+let test_ping_reports_no_reply () =
+  let net = fresh_net () in
+  let res = Ping.ping ~count:1 ~net (Net.unknown_addr net) in
+  check Alcotest.bool "failure" false (Ping.success res);
+  match res.Ping.checks with
+  | [ Ping.No_reply _ ] -> ()
+  | _ -> Alcotest.fail "expected No_reply"
+
+let test_ping_payload_length_configurable () =
+  let net = fresh_net () in
+  let res = Ping.ping ~count:1 ~payload_len:100 ~net (Net.server1_addr net) in
+  check Alcotest.bool "works with larger payload" true (Ping.success res)
+
+(* ---- traceroute ---- *)
+
+let test_traceroute_reference () =
+  let net = fresh_net () in
+  let r = Tr.traceroute ~net (Net.server1_addr net) in
+  check Alcotest.bool "reached" true r.Tr.reached;
+  check Alcotest.int "two hops" 2 (Tr.hop_count r);
+  (match r.Tr.hops with
+   | [ h1; h2 ] ->
+     check Alcotest.(option string) "hop 1 is the router"
+       (Some "10.0.1.1")
+       (Option.map Addr.to_string h1.Tr.responder);
+     check Alcotest.(option int) "hop 1 time exceeded"
+       (Some Icmp.type_time_exceeded) h1.Tr.response_type;
+     check Alcotest.bool "hop 1 quote validated" true h1.Tr.quoted_probe_ok;
+     check Alcotest.(option int) "hop 2 port unreachable"
+       (Some Icmp.type_destination_unreachable) h2.Tr.response_type;
+     check Alcotest.bool "hop 2 quote validated" true h2.Tr.quoted_probe_ok
+   | _ -> Alcotest.fail "expected exactly 2 hops")
+
+let test_traceroute_multi_hop () =
+  (* with 2 transit routers the path is 4 hops: first-hop router, two
+     transit routers, then the destination's port-unreachable *)
+  let net = Net.default_topology ~extra_hops:2 () in
+  let r = Tr.traceroute ~net (Net.server1_addr net) in
+  check Alcotest.bool "reached" true r.Tr.reached;
+  check Alcotest.int "four hops" 4 (Tr.hop_count r);
+  let responders =
+    List.filter_map
+      (fun (h : Tr.hop) -> Option.map Addr.to_string h.Tr.responder)
+      r.Tr.hops
+  in
+  check
+    Alcotest.(list string)
+    "hop sequence"
+    [ "10.0.1.1"; "10.255.0.1"; "10.255.0.2"; "192.168.2.10" ]
+    responders;
+  List.iter
+    (fun (h : Tr.hop) ->
+      check Alcotest.bool
+        (Printf.sprintf "hop %d quote validated" h.Tr.ttl)
+        true h.Tr.quoted_probe_ok)
+    r.Tr.hops;
+  (* ping still works end to end across the longer path *)
+  check Alcotest.bool "ping across transit" true
+    (Ping.success (Ping.ping ~net (Net.server1_addr net)))
+
+(* ---- student model (Tables 2 and 3) ---- *)
+
+let test_cohort_composition () =
+  check Alcotest.int "39 students" 39 (List.length Sm.cohort);
+  let correct = List.filter (fun s -> s.Sm.faults = [] && s.Sm.compiles) Sm.cohort in
+  let broken = List.filter (fun s -> not s.Sm.compiles) Sm.cohort in
+  let faulty = List.filter (fun s -> s.Sm.faults <> []) Sm.cohort in
+  check Alcotest.int "24 correct" 24 (List.length correct);
+  check Alcotest.int "1 does not compile" 1 (List.length broken);
+  check Alcotest.int "14 faulty" 14 (List.length faulty)
+
+let test_fault_frequencies_match_table2 () =
+  let faulty = List.filter (fun s -> s.Sm.faults <> []) Sm.cohort in
+  let count label =
+    List.length
+      (List.filter
+         (fun s -> List.exists (fun f -> Sm.fault_label f = label) s.Sm.faults)
+         faulty)
+  in
+  (* Table 2 frequencies over 14 faulty implementations *)
+  check Alcotest.int "IP header 57%" 8 (count "IP header related");
+  check Alcotest.int "ICMP header 57%" 8 (count "ICMP header related");
+  check Alcotest.int "byte order 29%" 4
+    (count "Network byte order and host byte order conversion");
+  check Alcotest.int "payload 43%" 6 (count "Incorrect ICMP payload content");
+  check Alcotest.int "length 29%" 4 (count "Incorrect echo reply packet length");
+  check Alcotest.int "checksum 36%" 5
+    (count "Incorrect checksum or dropped by kernel")
+
+let test_correct_students_interoperate () =
+  let student = List.hd Sm.cohort in
+  let net = Net.default_topology ~service:(Sm.service_of student) () in
+  check Alcotest.bool "correct student passes ping" true
+    (Ping.success (Ping.ping ~net (Net.server1_addr net)))
+
+let test_faulty_students_fail_ping () =
+  let faulty = List.filter (fun s -> s.Sm.faults <> []) Sm.cohort in
+  List.iter
+    (fun s ->
+      let net = Net.default_topology ~service:(Sm.service_of s) () in
+      let res = Ping.ping ~count:1 ~net (Net.server1_addr net) in
+      check Alcotest.bool
+        (Printf.sprintf "student %d fails" s.Sm.id)
+        false (Ping.success res))
+    faulty
+
+let test_ping_classifies_faults () =
+  (* every fault category a student has should be visible in ping's
+     failure labels (checksum faults can also mask as drops) *)
+  let faulty = List.filter (fun s -> s.Sm.faults <> []) Sm.cohort in
+  List.iter
+    (fun s ->
+      let net = Net.default_topology ~service:(Sm.service_of s) () in
+      let res = Ping.ping ~count:1 ~net (Net.server1_addr net) in
+      let labels = List.map Ping.failure_label (Ping.failures res) in
+      let expected = List.map Sm.fault_label s.Sm.faults in
+      (* the IP-header fault redirects the reply entirely; when present,
+         other faults may be unobservable *)
+      if not (List.mem "IP header related" expected) then
+        List.iter
+          (fun exp ->
+            check Alcotest.bool
+              (Printf.sprintf "student %d: %s detected" s.Sm.id exp)
+              true
+              (List.mem exp labels
+               || exp = "Incorrect checksum or dropped by kernel"
+                  && res.Ping.received < res.Ping.sent
+               (* a truncated reply masks the payload comparison *)
+               || exp = "Incorrect ICMP payload content"
+                  && List.mem "Incorrect echo reply packet length" labels))
+          expected)
+    faulty
+
+let test_checksum_interpretations_table3 () =
+  check Alcotest.int "seven interpretations" 7
+    (List.length Sm.checksum_interpretations);
+  (* only the full-range interpretation and the correctly-seeded
+     incremental update interoperate *)
+  let ok = List.filter Sm.interoperates Sm.checksum_interpretations in
+  check Alcotest.bool "full range interoperates" true
+    (List.mem Sm.Header_and_payload ok);
+  check Alcotest.bool "incremental update interoperates" true
+    (List.mem Sm.Incremental_update ok);
+  check Alcotest.int "exactly these two" 2 (List.length ok)
+
+let test_non_compiling_student () =
+  let broken = List.find (fun s -> not s.Sm.compiles) Sm.cohort in
+  let net = Net.default_topology ~service:(Sm.service_of broken) () in
+  let res = Ping.ping ~count:1 ~net (Net.server1_addr net) in
+  check Alcotest.int "no replies" 0 res.Ping.received
+
+(* ---- tcpdump over simulated traffic ---- *)
+
+let test_reference_traffic_is_clean () =
+  let net = fresh_net () in
+  ignore (Ping.ping ~net (Net.server1_addr net));
+  ignore (Tr.traceroute ~net (Net.server1_addr net));
+  match Pcap.of_bytes (Pcap.to_bytes (Net.capture net)) with
+  | Ok records ->
+    let verdicts = Tcpdump.inspect_capture records in
+    List.iter
+      (fun v ->
+        check
+          Alcotest.(list string)
+          (Printf.sprintf "clean: %s" v.Tcpdump.description)
+          [] v.Tcpdump.warnings)
+      verdicts
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    tc "ping the router (reference)" test_ping_reference_router;
+    tc "ping across the router (reference)" test_ping_reference_server;
+    tc "scenario: destination unreachable" test_destination_unreachable_scenario;
+    tc "scenario: time exceeded" test_time_exceeded_scenario;
+    tc "scenario: parameter problem" test_parameter_problem_scenario;
+    tc "scenario: source quench" test_source_quench_scenario;
+    tc "scenario: redirect" test_redirect_scenario;
+    tc "scenario: fragmentation needed (code 4)" test_frag_needed_scenario;
+    tc "fragmented delivery end to end" test_fragmented_delivery;
+    tc "capture records traffic" test_capture_records_traffic;
+    tc "ping reports no-reply" test_ping_reports_no_reply;
+    tc "ping payload length" test_ping_payload_length_configurable;
+    tc "traceroute (reference)" test_traceroute_reference;
+    tc "traceroute across transit routers" test_traceroute_multi_hop;
+    tc "cohort composition (39 students)" test_cohort_composition;
+    tc "fault frequencies (Table 2)" test_fault_frequencies_match_table2;
+    tc "correct students interoperate" test_correct_students_interoperate;
+    tc "faulty students fail ping" test_faulty_students_fail_ping;
+    tc "ping classifies fault categories" test_ping_classifies_faults;
+    tc "checksum interpretations (Table 3)" test_checksum_interpretations_table3;
+    tc "non-compiling student" test_non_compiling_student;
+    tc "reference traffic clean under tcpdump" test_reference_traffic_is_clean;
+  ]
