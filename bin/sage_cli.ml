@@ -89,6 +89,7 @@ let status_string = function
   | P.Ambiguous lfs ->
     Printf.sprintf "AMBIGUOUS (%d LFs) - needs rewriting" (List.length lfs)
   | P.Annotated_non_actionable -> "annotated non-actionable"
+  | P.Crashed e -> Printf.sprintf "CRASHED: %s" e
 
 (* ------------------------------------------------------------------ *)
 (* sage parse                                                          *)
@@ -134,7 +135,7 @@ let parse_cmd =
        List.iteri
          (fun i lf -> Printf.printf "LF[%d]    : %s\n" i (Lf.to_string lf))
          lfs
-     | P.Zero_lf | P.Annotated_non_actionable -> ());
+     | P.Zero_lf | P.Annotated_non_actionable | P.Crashed _ -> ());
     0
   in
   let doc = "Chunk, CCG-parse and winnow a single specification sentence." in
@@ -303,18 +304,36 @@ let ambiguities_cmd =
 (* ------------------------------------------------------------------ *)
 
 let interop_cmd =
-  let run verbose rewritten =
+  let run verbose rewritten fault_seed fault_plan =
     setup_logs verbose;
+    let faults =
+      match fault_plan with
+      | None -> None
+      | Some spec -> (
+        match Sage_sim.Faults.plan_of_string spec with
+        | Ok plan ->
+          Some (Sage_sim.Faults.create ~plan ~seed:fault_seed ())
+        | Error e ->
+          Printf.eprintf "bad --fault-plan: %s\n" e;
+          exit 2)
+    in
+    let under_faults = Option.is_some faults in
     let result = run_pipeline Icmp rewritten in
     let stack = Sage_sim.Generated_stack.of_run result in
     let service = Sage_sim.Icmp_service.generated stack in
-    let net = Sage_sim.Network.default_topology ~service () in
+    let net = Sage_sim.Network.default_topology ~service ?faults () in
     let target = Sage_sim.Network.server1_addr net in
     let ping_res = Sage_sim.Ping.ping ~net target in
     Printf.printf "ping %s: %s (%d/%d replies)\n"
       (Sage_net.Addr.to_string target)
-      (if Sage_sim.Ping.success ping_res then "ok" else "FAILED")
+      (if Sage_sim.Ping.success ping_res then "ok"
+       else if under_faults then "degraded"
+       else "FAILED")
       ping_res.Sage_sim.Ping.received ping_res.Sage_sim.Ping.sent;
+    if under_faults then
+      Printf.printf "  %d packets transmitted, %d received, %.0f%% packet loss\n"
+        ping_res.Sage_sim.Ping.sent ping_res.Sage_sim.Ping.received
+        (Sage_sim.Ping.loss_rate ping_res);
     List.iter
       (fun c ->
         match c with
@@ -341,14 +360,39 @@ let interop_cmd =
            | None -> "-")
           (if h.Sage_sim.Traceroute.quoted_probe_ok then "ok" else "BAD"))
       tr.Sage_sim.Traceroute.hops;
-    if Sage_sim.Ping.success ping_res && tr.Sage_sim.Traceroute.reached then 0
+    if under_faults then
+      Printf.printf "  %d probes unanswered, %.0f%% probe loss\n"
+        (Sage_sim.Traceroute.lost_probes tr)
+        (Sage_sim.Traceroute.loss_rate tr);
+    (* under injected faults, loss is expected: report statistics and
+       exit 0; the strict pass/fail verdict applies to clean runs only *)
+    if under_faults then 0
+    else if Sage_sim.Ping.success ping_res && tr.Sage_sim.Traceroute.reached
+    then 0
     else 1
+  in
+  let fault_seed_arg =
+    let doc = "Seed for the deterministic fault-injection PRNG." in
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+  in
+  let fault_plan_arg =
+    let doc =
+      "Inject faults into the simulated wire.  Comma-separated rules of the \
+       form $(i,KIND[:ARGS]\\@PROBABILITY), e.g. \
+       'drop\\@0.1,dup\\@0.05,delay:3\\@0.2,corrupt:8:0x04\\@0.02,\
+       truncate:20\\@0.1,reorder\\@0.1'.  Runs are reproducible for a fixed \
+       $(b,--fault-seed)."
+    in
+    Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
   in
   let doc =
     "Run ping and traceroute against the SAGE-generated ICMP implementation \
-     in the simulated network (the paper's 6.2 experiment)."
+     in the simulated network (the paper's 6.2 experiment), optionally \
+     through a seeded fault-injection plan."
   in
-  Cmd.v (Cmd.info "interop" ~doc) Term.(const run $ verbose_arg $ rewritten_arg)
+  Cmd.v (Cmd.info "interop" ~doc)
+    Term.(const run $ verbose_arg $ rewritten_arg $ fault_seed_arg
+          $ fault_plan_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage corpus                                                         *)

@@ -34,10 +34,10 @@ let () =
   | Error e -> Printf.printf "generation failed: %s\n" e
   | Ok dgram ->
     (match Ipv4.decode dgram with
-     | Error e -> Printf.printf "bad datagram: %s\n" e
+     | Error e -> Printf.printf "bad datagram: %s\n" (Sage_net.Decode_error.to_string e)
      | Ok (_, ntp_bytes) ->
        (match Ntp.decode ntp_bytes with
-        | Error e -> Printf.printf "bad NTP message: %s\n" e
+        | Error e -> Printf.printf "bad NTP message: %s\n" (Sage_net.Decode_error.to_string e)
         | Ok pkt ->
           Printf.printf "\ngenerated NTP message: %s\n"
             (Fmt.str "%a" Ntp.pp pkt);
@@ -60,7 +60,7 @@ let () =
              Printf.printf "  UDP: %s (checksum %s)\n"
                (Fmt.str "%a" Udp.pp udp)
                (if Udp.checksum_ok ~src ~dst segment then "valid" else "BAD")
-           | Error e -> Printf.printf "  UDP decode failed: %s\n" e);
+           | Error e -> Printf.printf "  UDP decode failed: %s\n" (Sage_net.Decode_error.to_string e));
           let v = Sage_net.Tcpdump.inspect_datagram full in
           Printf.printf "  tcpdump: %s %s\n" v.Sage_net.Tcpdump.description
             (if Sage_net.Tcpdump.clean v then "[no warnings]" else "[WARNINGS]")))

@@ -91,6 +91,9 @@ type status =
   | Ambiguous of Lf.t list
   | Parsed of Lf.t
   | Subject_supplied of Lf.t
+  | Crashed of string
+      (* the analysis of this one sentence raised; captured here so the
+         rest of the document still processes *)
 
 type sentence_report = {
   sentence : string;
@@ -327,9 +330,18 @@ let run spec ~title ~text =
       let gen_role = if section_has_reply then Ir.Receiver else Ir.Sender in
       let items = ref [] in
       let handle_sentence ?field sentence =
+        (* graceful degradation: a crash while analysing or generating
+           one sentence is captured in that sentence's report instead of
+           aborting the whole document run *)
         let report =
-          analyze_sentence spec ~message:msg ?field
-            ?struct_def:(Option.map Fun.id struct_def) sentence
+          match
+            analyze_sentence spec ~message:msg ?field
+              ?struct_def:(Option.map Fun.id struct_def) sentence
+          with
+          | report -> report
+          | exception exn ->
+            { sentence; message = Some msg; field; base_lf_count = 0;
+              trace = None; status = Crashed (Printexc.to_string exn) }
         in
         all_reports := report :: !all_reports;
         let ctx =
@@ -346,14 +358,23 @@ let run spec ~title ~text =
                (* iterative discovery: code-generation failure → confirm
                   non-actionable, tag @AdvComment *)
                non_actionable := (sentence, reason) :: !non_actionable;
+               None
+             | exception exn ->
+               non_actionable :=
+                 (sentence, "crashed: " ^ Printexc.to_string exn)
+                 :: !non_actionable;
                None)
-          | Annotated_non_actionable | Zero_lf | Ambiguous _ -> None
+          | Annotated_non_actionable | Zero_lf | Ambiguous _ | Crashed _ ->
+            None
         in
         items := { Assemble.sentence; placement } :: !items
       in
       (* pseudo-code blocks become standalone procedures (paper §3) *)
       let handle_pseudo block =
         match Sage_rfc.Pseudo_code.parse block with
+        | exception exn ->
+          non_actionable :=
+            (block, "crashed: " ^ Printexc.to_string exn) :: !non_actionable
         | Error reason -> non_actionable := (block, reason) :: !non_actionable
         | Ok proc ->
           let ctx =
@@ -449,6 +470,11 @@ let ambiguous_sentences run =
 
 let zero_lf_sentences run =
   List.filter (fun r -> r.status = Zero_lf) run.sentences
+
+let crashed_sentences run =
+  List.filter
+    (fun r -> match r.status with Crashed _ -> true | _ -> false)
+    run.sentences
 
 let parsed_sentences run =
   List.filter

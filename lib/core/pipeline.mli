@@ -42,6 +42,9 @@ type status =
   | Subject_supplied of Sage_logic.Lf.t
       (** parsed only after the pre-processor supplied the field name as
           the missing subject (paper §4.1) *)
+  | Crashed of string
+      (** analysing this sentence raised an exception; the crash is
+          confined to this report and the rest of the run completes *)
 
 type sentence_report = {
   sentence : string;
@@ -86,6 +89,10 @@ val run : spec -> title:string -> text:string -> run
 val ambiguous_sentences : run -> sentence_report list
 val zero_lf_sentences : run -> sentence_report list
 val parsed_sentences : run -> sentence_report list
+
+val crashed_sentences : run -> sentence_report list
+(** Sentences whose analysis raised (status {!Crashed}); non-empty means
+    the run degraded gracefully rather than aborting. *)
 
 val find_function : run -> string -> Sage_codegen.Ir.func option
 (** Look up a generated function by name. *)

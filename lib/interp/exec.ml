@@ -77,7 +77,13 @@ let checksum_outgoing rt ~checksum_field =
   let wire = Pv.serialize v in
   Rt.VInt (Int64.of_int (Sage_net.Checksum.checksum wire))
 
+let check_budget rt =
+  if not (Rt.step rt) then
+    fail "step budget exhausted after %d steps (runaway generated code?)"
+      rt.Rt.step_budget
+
 let rec eval_expr rt (e : Ir.expr) : Rt.value =
+  check_budget rt;
   match e with
   | Ir.Int n -> Rt.VInt (Int64.of_int n)
   | Ir.Str s -> Rt.VBytes (Bytes.of_string s)
@@ -162,7 +168,8 @@ and eval_call rt fn args =
        (match Sage_net.Ipv4.decode dgram with
         | Ok (hdr, _) ->
           Rt.VInt (Int64.of_int32 (Sage_net.Addr.to_int32 hdr.Sage_net.Ipv4.src))
-        | Error e -> fail "original datagram: %s" e)
+        | Error e ->
+          fail "original datagram: %s" (Sage_net.Decode_error.to_string e))
      | Some (Rt.VInt _) -> fail "original datagram is not bytes"
      | None -> fail "no original datagram in environment")
   | "session_found", [] ->
@@ -206,6 +213,7 @@ let rec run_stmts rt stmts =
   | [] -> ()
   | _ when rt.Rt.discarded -> ()
   | stmt :: rest ->
+    check_budget rt;
     (match stmt with
      | Ir.Assign (Ir.Lfield (l, f), e) -> write_field rt l f (eval_expr rt e)
      | Ir.Assign (Ir.Lvar v, e) -> Rt.set_param rt v (eval_expr rt e)

@@ -18,11 +18,16 @@ type t = {
   mutable sent_messages : string list;
   mutable called : string list;
   mutable selected_session : int64 option;
+  step_budget : int;
+  mutable steps : int;
 }
 
 let ip_info ?(ttl = 64) ?(tos = 0) ~src ~dst () = { src; dst; ttl; tos }
 
-let create ?request ?request_ip ?(params = []) ?(state = []) ~proto ~ip () =
+let default_step_budget = 100_000
+
+let create ?request ?request_ip ?(params = []) ?(state = [])
+    ?(step_budget = default_step_budget) ~proto ~ip () =
   let param_tbl = Hashtbl.create 16 in
   List.iter (fun (k, v) -> Hashtbl.replace param_tbl k v) params;
   let state_tbl = Hashtbl.create 16 in
@@ -38,7 +43,15 @@ let create ?request ?request_ip ?(params = []) ?(state = []) ~proto ~ip () =
     sent_messages = [];
     called = [];
     selected_session = None;
+    step_budget;
+    steps = 0;
   }
+
+(* true when this step is still within budget; exec turns false into a
+   runtime error so malformed generated code cannot spin forever *)
+let step t =
+  t.steps <- t.steps + 1;
+  t.steps <= t.step_budget
 
 let param t name = Hashtbl.find_opt t.params name
 let set_param t name v = Hashtbl.replace t.params name v

@@ -23,17 +23,28 @@ type t = {
   mutable sent_messages : string list;  (** names passed to send_packet *)
   mutable called : string list;         (** framework procedures invoked *)
   mutable selected_session : int64 option;
+  step_budget : int;  (** max statements + expression evaluations *)
+  mutable steps : int;
 }
+
+val default_step_budget : int
+(** 100_000 — orders of magnitude above any real generated function, so
+    exhaustion always means runaway execution. *)
 
 val create :
   ?request:Packet_view.t ->
   ?request_ip:ip_info ->
   ?params:(string * value) list ->
   ?state:(string * int64) list ->
+  ?step_budget:int ->
   proto:Packet_view.t ->
   ip:ip_info ->
   unit ->
   t
+
+val step : t -> bool
+(** Count one execution step; [false] once the budget is exhausted
+    ({!Exec} raises a runtime error at that point). *)
 
 val ip_info :
   ?ttl:int -> ?tos:int -> src:Sage_net.Addr.t -> dst:Sage_net.Addr.t -> unit -> ip_info

@@ -80,19 +80,25 @@ let encode p =
   Bytes_util.set_u32 b 20 p.required_min_echo_rx;
   b
 
+let layer = "BFD"
+
 let decode b =
-  if Bytes.length b < 24 then Error "truncated BFD control packet"
+  if Bytes.length b < 24 then
+    Error (Decode_error.truncated ~layer ~need:24 ~have:(Bytes.length b))
   else
     let version = Bytes_util.get_u8 b 0 lsr 5 in
     let flags = Bytes_util.get_u8 b 1 in
     let length = Bytes_util.get_u8 b 3 in
-    if version <> 1 then Error (Printf.sprintf "bad BFD version %d" version)
-    else if length < 24 then Error (Printf.sprintf "bad BFD length %d" length)
-    else if length > Bytes.length b then Error "BFD length exceeds capture"
-    else if flags land 1 <> 0 then Error "Multipoint (M) bit is set"
+    if version <> 1 then Error (Decode_error.bad_version ~layer version)
+    else if length < 24 || length > Bytes.length b then
+      Error
+        (Decode_error.length_mismatch ~layer ~declared:length
+           ~available:(Bytes.length b))
+    else if flags land 1 <> 0 then
+      Error (Decode_error.bad_field ~layer "multipoint bit" 1)
     else
       match state_of_code (flags lsr 6) with
-      | Error e -> Error e
+      | Error _ -> Error (Decode_error.bad_field ~layer "state" (flags lsr 6))
       | Ok state ->
         Ok
           {

@@ -32,9 +32,10 @@ val default_packet : packet
 val encode : packet -> bytes
 (** 24 bytes (no authentication section). *)
 
-val decode : bytes -> (packet, string) result
+val decode : bytes -> (packet, Decode_error.t) result
 (** Enforces RFC 5880 §6.8.6 reception validation that is purely
-    syntactic: version, length, Multipoint bit. *)
+    syntactic: version, length, Multipoint bit.  Fails with a typed
+    {!Decode_error.t}; never raises. *)
 
 (** Protocol state of one session (RFC 5880 §6.8.1 state variables, the
     "state management dictionary" of §6.4). *)

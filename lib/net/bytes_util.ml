@@ -1,37 +1,58 @@
-let get_u8 b off = Char.code (Bytes.get b off)
-let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
-let get_u16 b off = Char.code (Bytes.get b off) lsl 8 lor Char.code (Bytes.get b (off + 1))
+let bounds_check name b off width =
+  if off < 0 || width > Bytes.length b - off then
+    invalid_arg
+      (Printf.sprintf "Bytes_util.%s: offset %d width %d out of bounds (length %d)"
+         name off width (Bytes.length b))
+
+let get_u8 b off =
+  bounds_check "get_u8" b off 1;
+  Char.code (Bytes.unsafe_get b off)
+
+let set_u8 b off v =
+  bounds_check "set_u8" b off 1;
+  Bytes.unsafe_set b off (Char.unsafe_chr (v land 0xff))
+
+let get_u16 b off =
+  bounds_check "get_u16" b off 2;
+  Char.code (Bytes.unsafe_get b off) lsl 8 lor Char.code (Bytes.unsafe_get b (off + 1))
 
 let set_u16 b off v =
-  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
-  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+  bounds_check "set_u16" b off 2;
+  Bytes.unsafe_set b off (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (off + 1) (Char.unsafe_chr (v land 0xff))
 
 let get_u32 b off =
+  bounds_check "get_u32" b off 4;
   let ( << ) = Int32.shift_left and ( ||| ) = Int32.logor in
-  let byte i = Int32.of_int (get_u8 b (off + i)) in
+  let byte i = Int32.of_int (Char.code (Bytes.unsafe_get b (off + i))) in
   (byte 0 << 24) ||| (byte 1 << 16) ||| (byte 2 << 8) ||| byte 3
 
 let set_u32 b off v =
+  bounds_check "set_u32" b off 4;
   let byte i = Int32.to_int (Int32.logand (Int32.shift_right_logical v (24 - (8 * i))) 0xffl) in
-  for i = 0 to 3 do set_u8 b (off + i) (byte i) done
+  for i = 0 to 3 do Bytes.unsafe_set b (off + i) (Char.unsafe_chr (byte i)) done
 
 let get_u64 b off =
+  bounds_check "get_u64" b off 8;
   let ( << ) = Int64.shift_left and ( ||| ) = Int64.logor in
-  let byte i = Int64.of_int (get_u8 b (off + i)) in
+  let byte i = Int64.of_int (Char.code (Bytes.unsafe_get b (off + i))) in
   (byte 0 << 56) ||| (byte 1 << 48) ||| (byte 2 << 40) ||| (byte 3 << 32)
   ||| (byte 4 << 24) ||| (byte 5 << 16) ||| (byte 6 << 8) ||| byte 7
 
 let set_u64 b off v =
+  bounds_check "set_u64" b off 8;
   let byte i =
     Int64.to_int (Int64.logand (Int64.shift_right_logical v (56 - (8 * i))) 0xffL)
   in
-  for i = 0 to 7 do set_u8 b (off + i) (byte i) done
+  for i = 0 to 7 do Bytes.unsafe_set b (off + i) (Char.unsafe_chr (byte i)) done
 
-let blit_string src dst off = Bytes.blit_string src 0 dst off (String.length src)
+let blit_string src dst off =
+  bounds_check "blit_string" dst off (String.length src);
+  Bytes.blit_string src 0 dst off (String.length src)
 
 let hex ?max b =
   let n = Bytes.length b in
-  let shown = match max with Some m when m < n -> m | _ -> n in
+  let shown = match max with Some m when m >= 0 && m < n -> m | _ -> n in
   let buf = Buffer.create (shown * 3) in
   for i = 0 to shown - 1 do
     if i > 0 then Buffer.add_char buf ' ';

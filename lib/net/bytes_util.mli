@@ -1,6 +1,9 @@
 (** Big-endian (network byte order) accessors over [Bytes], the base of all
-    packet codecs.  All offsets are in bytes; out-of-range access raises
-    [Invalid_argument] like the standard library. *)
+    packet codecs.  All offsets are in bytes.  Every getter and setter
+    bounds-checks the {e whole} access up front (offset non-negative, all
+    [width] bytes inside the buffer) and raises [Invalid_argument] with the
+    accessor name, offset, width and buffer length on violation — a
+    multi-byte read can never partially succeed. *)
 
 val get_u8 : bytes -> int -> int
 val set_u8 : bytes -> int -> int -> unit

@@ -1,0 +1,31 @@
+type t =
+  | Truncated of { layer : string; need : int; have : int }
+  | Bad_version of { layer : string; got : int }
+  | Bad_field of { layer : string; field : string; got : int }
+  | Length_mismatch of { layer : string; declared : int; available : int }
+  | Bad_checksum of string
+
+let truncated ~layer ~need ~have = Truncated { layer; need; have }
+let bad_version ~layer got = Bad_version { layer; got }
+let bad_field ~layer field got = Bad_field { layer; field; got }
+
+let length_mismatch ~layer ~declared ~available =
+  Length_mismatch { layer; declared; available }
+
+let bad_checksum layer = Bad_checksum layer
+
+let to_string = function
+  | Truncated { layer; need; have } ->
+    Printf.sprintf "truncated %s: need %d bytes, have %d" layer need have
+  | Bad_version { layer; got } ->
+    Printf.sprintf "bad %s version %d" layer got
+  | Bad_field { layer; field; got } ->
+    Printf.sprintf "bad %s %s %d" layer field got
+  | Length_mismatch { layer; declared; available } ->
+    Printf.sprintf "%s length %d inconsistent with %d available bytes" layer
+      declared available
+  | Bad_checksum layer -> Printf.sprintf "bad %s checksum" layer
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,30 @@
+(** Typed decoding failures, shared by every packet codec in [lib/net].
+
+    Injected faults (corruption, truncation) mean malformed bytes are a
+    normal input, not an exceptional one: every decoder returns
+    [(t, Decode_error.t) result] and never raises, and the variant says
+    {e how} the bytes were malformed so simulators and tests can assert on
+    the failure mode rather than on an error-message substring. *)
+
+type t =
+  | Truncated of { layer : string; need : int; have : int }
+      (** fewer bytes than the layer's minimum (or declared) size *)
+  | Bad_version of { layer : string; got : int }
+  | Bad_field of { layer : string; field : string; got : int }
+      (** a field holds a value outside its legal range *)
+  | Length_mismatch of { layer : string; declared : int; available : int }
+      (** an internal length field disagrees with the captured bytes *)
+  | Bad_checksum of string  (** layer whose checksum failed verification *)
+
+val truncated : layer:string -> need:int -> have:int -> t
+val bad_version : layer:string -> int -> t
+val bad_field : layer:string -> string -> int -> t
+val length_mismatch : layer:string -> declared:int -> available:int -> t
+val bad_checksum : string -> t
+
+val to_string : t -> string
+(** Human-readable rendering, e.g. ["truncated ICMP message: need 8 bytes,
+    have 4"]. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

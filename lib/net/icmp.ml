@@ -110,9 +110,11 @@ let encode msg =
     Bytes_util.set_u16 b 6 i.info_sequence;
     finalize b
 
+let layer = "ICMP"
+
 let decode b =
   let len = Bytes.length b in
-  if len < 8 then Error "truncated ICMP message (< 8 bytes)"
+  if len < 8 then Error (Decode_error.truncated ~layer ~need:8 ~have:len)
   else
     let ty = Bytes_util.get_u8 b 0 in
     let code = Bytes_util.get_u8 b 1 in
@@ -129,14 +131,14 @@ let decode b =
     if ty = type_echo then Ok (Echo (echo ()))
     else if ty = type_echo_reply then Ok (Echo_reply (echo ()))
     else if ty = type_destination_unreachable then
-      if code > 5 then Error (Printf.sprintf "bad unreachable code %d" code)
+      if code > 5 then Error (Decode_error.bad_field ~layer "unreachable code" code)
       else Ok (Destination_unreachable (err ()))
     else if ty = type_source_quench then Ok (Source_quench (err ()))
     else if ty = type_time_exceeded then
-      if code > 1 then Error (Printf.sprintf "bad time-exceeded code %d" code)
+      if code > 1 then Error (Decode_error.bad_field ~layer "time-exceeded code" code)
       else Ok (Time_exceeded (err ()))
     else if ty = type_redirect then
-      if code > 3 then Error (Printf.sprintf "bad redirect code %d" code)
+      if code > 3 then Error (Decode_error.bad_field ~layer "redirect code" code)
       else
         Ok
           (Redirect
@@ -150,7 +152,7 @@ let decode b =
         (Parameter_problem
            { pp_code = code; pointer = Bytes_util.get_u8 b 4; pp_original = rest 8 })
     else if ty = type_timestamp || ty = type_timestamp_reply then
-      if len < 20 then Error "truncated ICMP timestamp message"
+      if len < 20 then Error (Decode_error.truncated ~layer ~need:20 ~have:len)
       else
         let t =
           {
@@ -173,9 +175,15 @@ let decode b =
       in
       Ok (if ty = type_information_request then Information_request i
           else Information_reply i)
-    else Error (Printf.sprintf "unknown ICMP type %d" ty)
+    else Error (Decode_error.bad_field ~layer "type" ty)
 
 let checksum_ok b = Bytes.length b >= 8 && Checksum.verify b
+
+let decode_verified b =
+  match decode b with
+  | Error _ as e -> e
+  | Ok _ when not (checksum_ok b) -> Error (Decode_error.bad_checksum layer)
+  | Ok _ as ok -> ok
 
 let original_datagram_excerpt dgram =
   match Ipv4.decode dgram with

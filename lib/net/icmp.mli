@@ -76,9 +76,14 @@ val encode : message -> bytes
     (type through end of data) — the interpretation that interoperates
     with Linux (§2.1). *)
 
-val decode : bytes -> (message, string) result
-(** Parse an ICMP message.  Fails on truncation or unknown type; does not
-    reject a bad checksum (use [checksum_ok]). *)
+val decode : bytes -> (message, Decode_error.t) result
+(** Parse an ICMP message.  Fails (with a typed {!Decode_error.t}, never
+    an exception) on truncation or unknown type; does not reject a bad
+    checksum (use [checksum_ok] or [decode_verified]). *)
+
+val decode_verified : bytes -> (message, Decode_error.t) result
+(** [decode] plus checksum verification over the whole message; a
+    non-verifying message fails with [Bad_checksum "ICMP"]. *)
 
 val checksum_ok : bytes -> bool
 

@@ -14,18 +14,21 @@ let encode t =
   Bytes_util.set_u16 b 2 (Checksum.checksum b);
   b
 
+let layer = "IGMP"
+
 let decode b =
-  if Bytes.length b < 8 then Error "truncated IGMP message"
+  if Bytes.length b < 8 then
+    Error (Decode_error.truncated ~layer ~need:8 ~have:(Bytes.length b))
   else
     let version = Bytes_util.get_u8 b 0 lsr 4 in
     let ty = Bytes_util.get_u8 b 0 land 0xf in
-    if version <> 1 then Error (Printf.sprintf "bad IGMP version %d" version)
+    if version <> 1 then Error (Decode_error.bad_version ~layer version)
     else
       let kind =
         match ty with
         | 1 -> Ok Host_membership_query
         | 2 -> Ok Host_membership_report
-        | _ -> Error (Printf.sprintf "unknown IGMP type %d" ty)
+        | _ -> Error (Decode_error.bad_field ~layer "type" ty)
       in
       (match kind with
        | Error e -> Error e
@@ -33,6 +36,12 @@ let decode b =
          Ok { version; kind; group = Addr.of_int32 (Bytes_util.get_u32 b 4) })
 
 let checksum_ok b = Bytes.length b >= 8 && Checksum.verify ~off:0 ~len:8 b
+
+let decode_verified b =
+  match decode b with
+  | Error _ as e -> e
+  | Ok _ when not (checksum_ok b) -> Error (Decode_error.bad_checksum layer)
+  | Ok _ as ok -> ok
 
 let pp ppf t =
   let k =

@@ -22,7 +22,14 @@ val report : Addr.t -> t
 val encode : t -> bytes
 (** 8 bytes, checksum over the whole message. *)
 
-val decode : bytes -> (t, string) result
+val decode : bytes -> (t, Decode_error.t) result
+(** Fails with a typed {!Decode_error.t} on truncation, non-1 version or
+    unknown type; never raises.  Does not reject a bad checksum (use
+    [checksum_ok] or [decode_verified]). *)
+
+val decode_verified : bytes -> (t, Decode_error.t) result
+(** [decode] plus checksum verification over the 8-byte message. *)
+
 val checksum_ok : bytes -> bool
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

@@ -57,23 +57,24 @@ let encode t ~payload =
   Bytes.blit payload 0 b hlen (Bytes.length payload);
   b
 
+let layer = "IPv4"
+
 let decode b =
   let len = Bytes.length b in
-  if len < 20 then Error "truncated IP header (< 20 bytes)"
+  if len < 20 then Error (Decode_error.truncated ~layer ~need:20 ~have:len)
   else
     let version = Bytes_util.get_u8 b 0 lsr 4 in
     let ihl = Bytes_util.get_u8 b 0 land 0xf in
-    if version <> 4 then Error (Printf.sprintf "bad IP version %d" version)
-    else if ihl < 5 then Error (Printf.sprintf "bad IHL %d" ihl)
-    else if len < 4 * ihl then Error "truncated IP header (options)"
+    if version <> 4 then Error (Decode_error.bad_version ~layer version)
+    else if ihl < 5 then Error (Decode_error.bad_field ~layer "IHL" ihl)
+    else if len < 4 * ihl then
+      Error (Decode_error.truncated ~layer ~need:(4 * ihl) ~have:len)
     else
       let total_length = Bytes_util.get_u16 b 2 in
-      if total_length > len then
+      if total_length > len || total_length < 4 * ihl then
         Error
-          (Printf.sprintf "truncated datagram: total length %d > captured %d"
-             total_length len)
-      else if total_length < 4 * ihl then
-        Error (Printf.sprintf "total length %d < header length %d" total_length (4 * ihl))
+          (Decode_error.length_mismatch ~layer ~declared:total_length
+             ~available:len)
       else
         let t =
           {
@@ -99,7 +100,13 @@ let checksum_ok b =
   Bytes.length b >= 20
   &&
   let ihl = Bytes_util.get_u8 b 0 land 0xf in
-  Bytes.length b >= 4 * ihl && Checksum.verify ~off:0 ~len:(4 * ihl) b
+  ihl >= 5 && Bytes.length b >= 4 * ihl && Checksum.verify ~off:0 ~len:(4 * ihl) b
+
+let decode_verified b =
+  match decode b with
+  | Error _ as e -> e
+  | Ok _ when not (checksum_ok b) -> Error (Decode_error.bad_checksum layer)
+  | Ok _ as ok -> ok
 
 let pp ppf t =
   Fmt.pf ppf "IP %a > %a: proto %d, ttl %d, tos %d, length %d" Addr.pp t.src
@@ -110,7 +117,7 @@ let flag_more_fragments = 0b001
 
 let fragment ~mtu dgram =
   match decode dgram with
-  | Error e -> Error e
+  | Error e -> Error (Decode_error.to_string e)
   | Ok (hdr, payload) ->
     if Bytes.length dgram <= mtu then Ok [ dgram ]
     else if hdr.flags land flag_dont_fragment <> 0 then
@@ -154,7 +161,7 @@ let reassemble fragments =
     (match
        List.find_opt (function Error _ -> true | Ok _ -> false) decoded
      with
-     | Some (Error e) -> Error e
+     | Some (Error e) -> Error (Decode_error.to_string e)
      | Some (Ok _) | None ->
        let parts =
          List.map (function Ok p -> p | Error _ -> assert false) decoded

@@ -37,11 +37,17 @@ val encode : t -> payload:bytes -> bytes
 (** Serialize header (checksum computed over the header) followed by
     the payload. *)
 
-val decode : bytes -> (t * bytes, string) result
+val decode : bytes -> (t * bytes, Decode_error.t) result
 (** Parse a datagram into header and payload.  Fails on truncation, bad
-    version, or inconsistent lengths.  Does {e not} reject a bad header
-    checksum — use [checksum_ok], so a tcpdump-style caller can warn
-    instead. *)
+    version, or inconsistent lengths — always with a typed
+    {!Decode_error.t}, never an exception.  Does {e not} reject a bad
+    header checksum — use [checksum_ok] (so a tcpdump-style caller can
+    warn instead) or [decode_verified]. *)
+
+val decode_verified : bytes -> (t * bytes, Decode_error.t) result
+(** [decode] plus header-checksum verification: a datagram whose header
+    checksum does not verify fails with [Bad_checksum "IPv4"].  This is
+    what a hardened receive path should call on wire input. *)
 
 val checksum_ok : bytes -> bool
 (** Verify the header checksum of an encoded datagram. *)

@@ -50,7 +50,8 @@ let encode t =
   b
 
 let decode b =
-  if Bytes.length b < 48 then Error "truncated NTP packet (< 48 bytes)"
+  if Bytes.length b < 48 then
+    Error (Decode_error.truncated ~layer:"NTP" ~need:48 ~have:(Bytes.length b))
   else
     Ok
       {

@@ -25,7 +25,8 @@ val default : t
 val encode : t -> bytes
 (** 48 bytes. *)
 
-val decode : bytes -> (t, string) result
+val decode : bytes -> (t, Decode_error.t) result
+(** Fails with [Truncated] on fewer than 48 bytes; never raises. *)
 
 val encapsulate : src:Addr.t -> dst:Addr.t -> src_port:int -> t -> bytes
 (** Build the full UDP segment carrying this NTP packet, checksummed with

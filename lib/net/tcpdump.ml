@@ -8,7 +8,7 @@ let icmp_verdict ~src ~dst payload =
     match Icmp.decode payload with
     | Ok msg -> Fmt.str "IP %a > %a: %a" Addr.pp src Addr.pp dst Icmp.pp msg
     | Error e ->
-      warn e;
+      warn (Decode_error.to_string e);
       Fmt.str "IP %a > %a: ICMP (undecodable)" Addr.pp src Addr.pp dst
   in
   (description, !warnings)
@@ -21,7 +21,7 @@ let igmp_verdict ~src ~dst payload =
     match Igmp.decode payload with
     | Ok msg -> Fmt.str "IP %a > %a: %a" Addr.pp src Addr.pp dst Igmp.pp msg
     | Error e ->
-      warn e;
+      warn (Decode_error.to_string e);
       Fmt.str "IP %a > %a: IGMP (undecodable)" Addr.pp src Addr.pp dst
   in
   (description, !warnings)
@@ -33,7 +33,7 @@ let udp_verdict ~src ~dst payload =
   let description =
     match Udp.decode payload with
     | Error e ->
-      warn e;
+      warn (Decode_error.to_string e);
       Fmt.str "IP %a > %a: UDP (undecodable)" Addr.pp src Addr.pp dst
     | Ok (udp, body) ->
       if udp.Udp.dst_port = Ntp.ntp_port || udp.Udp.src_port = Ntp.ntp_port then
@@ -41,7 +41,7 @@ let udp_verdict ~src ~dst payload =
         | Ok ntp ->
           Fmt.str "IP %a > %a: %a, %a" Addr.pp src Addr.pp dst Udp.pp udp Ntp.pp ntp
         | Error e ->
-          warn e;
+          warn (Decode_error.to_string e);
           Fmt.str "IP %a > %a: %a, NTP (undecodable)" Addr.pp src Addr.pp dst
             Udp.pp udp
       else if udp.Udp.dst_port = 3784 || udp.Udp.src_port = 3784 then
@@ -50,7 +50,7 @@ let udp_verdict ~src ~dst payload =
           Fmt.str "IP %a > %a: %a, %a" Addr.pp src Addr.pp dst Udp.pp udp
             Bfd.pp_packet bfd
         | Error e ->
-          warn e;
+          warn (Decode_error.to_string e);
           Fmt.str "IP %a > %a: %a, BFD (undecodable)" Addr.pp src Addr.pp dst
             Udp.pp udp
       else Fmt.str "IP %a > %a: %a" Addr.pp src Addr.pp dst Udp.pp udp
@@ -59,7 +59,8 @@ let udp_verdict ~src ~dst payload =
 
 let inspect_datagram data =
   match Ipv4.decode data with
-  | Error e -> { description = "IP (undecodable)"; warnings = [ e ] }
+  | Error e ->
+    { description = "IP (undecodable)"; warnings = [ Decode_error.to_string e ] }
   | Ok (ip, payload) ->
     let base_warnings = if Ipv4.checksum_ok data then [] else [ "bad ip cksum" ] in
     let src = ip.Ipv4.src and dst = ip.Ipv4.dst in

@@ -29,8 +29,11 @@ let encode ?src ?dst t ~payload =
    | _ -> ());
   b
 
+let layer = "UDP"
+
 let decode b =
-  if Bytes.length b < 8 then Error "truncated UDP header"
+  if Bytes.length b < 8 then
+    Error (Decode_error.truncated ~layer ~need:8 ~have:(Bytes.length b))
   else
     let t =
       {
@@ -40,12 +43,23 @@ let decode b =
         checksum = Bytes_util.get_u16 b 6;
       }
     in
-    if t.length < 8 then Error (Printf.sprintf "bad UDP length %d" t.length)
-    else if t.length > Bytes.length b then
+    if t.length < 8 || t.length > Bytes.length b then
       Error
-        (Printf.sprintf "truncated UDP datagram: length %d > captured %d"
-           t.length (Bytes.length b))
+        (Decode_error.length_mismatch ~layer ~declared:t.length
+           ~available:(Bytes.length b))
     else Ok (t, Bytes.sub b 8 (t.length - 8))
+
+let decode_verified ~src ~dst b =
+  match decode b with
+  | Error _ as e -> e
+  | Ok _ as ok ->
+    if
+      Bytes_util.get_u16 b 6 = 0
+      ||
+      let ph = pseudo_header ~src ~dst ~udp_len:(Bytes.length b) in
+      Checksum.verify (Bytes.cat ph b)
+    then ok
+    else Error (Decode_error.bad_checksum layer)
 
 let checksum_ok ~src ~dst b =
   Bytes.length b >= 8

@@ -16,7 +16,15 @@ val encode : ?src:Addr.t -> ?dst:Addr.t -> t -> payload:bytes -> bytes
     "an all zero checksum value means the transmitter generated no
     checksum"). *)
 
-val decode : bytes -> (t * bytes, string) result
+val decode : bytes -> (t * bytes, Decode_error.t) result
+(** Parse header and payload; the payload extent comes from the UDP
+    length field, so a declared length outside the captured bytes fails
+    with [Length_mismatch].  Never raises. *)
+
+val decode_verified :
+  src:Addr.t -> dst:Addr.t -> bytes -> (t * bytes, Decode_error.t) result
+(** [decode] plus pseudo-header checksum verification (a zero checksum
+    field is accepted, per RFC 768). *)
 
 val checksum_ok : src:Addr.t -> dst:Addr.t -> bytes -> bool
 (** Verify a pseudo-header checksum; a zero checksum field is accepted. *)

@@ -1,0 +1,153 @@
+module Bfd = Sage_net.Bfd
+
+(* A point-to-point BFD link: two sessions exchanging control packets
+   over two independent fault processes (one per direction), on a shared
+   tick clock.  One tick = one desired-min-tx interval, so the RFC 5880
+   detection time of [detect_mult x interval] becomes simply
+   [detect_mult] ticks without a received packet. *)
+
+type event =
+  | Came_up of int              (* tick at which both ends reached Up *)
+  | Detection_timeout of { tick : int; at_a : bool }
+
+type endpoint = {
+  session : Bfd.session;
+  wire : Faults.t;              (* the path *from* this endpoint *)
+  mutable ticks_since_rx : int;
+  mutable rx_count : int;
+  mutable tx_count : int;
+}
+
+type outcome = {
+  ticks : int;
+  a_state : Bfd.session_state;
+  b_state : Bfd.session_state;
+  a_rx : int;
+  b_rx : int;
+  a_tx : int;
+  b_tx : int;
+  events : event list;          (* in tick order *)
+}
+
+let make_endpoint ~local_discr ~detect_mult wire =
+  let session = Bfd.new_session ~local_discr in
+  session.Bfd.detect_mult <- detect_mult;
+  { session; wire; ticks_since_rx = 0; rx_count = 0; tx_count = 0 }
+
+let control_packet ep =
+  let s = ep.session in
+  {
+    Bfd.default_packet with
+    Bfd.state = s.Bfd.session_state;
+    diag = s.Bfd.local_diag;
+    detect_mult = s.Bfd.detect_mult;
+    my_discriminator = s.Bfd.local_discr;
+    your_discriminator = s.Bfd.remote_discr;
+    desired_min_tx = s.Bfd.desired_min_tx;
+    required_min_rx = s.Bfd.required_min_rx;
+  }
+
+(* RFC 5880 §6.8.4: when the detection time expires without a received
+   control packet the session is declared down with diag 1 ("Control
+   Detection Time Expired"). *)
+let detection_expired ep =
+  ep.ticks_since_rx >= ep.session.Bfd.detect_mult
+
+let declare_down ep =
+  ep.session.Bfd.local_diag <- 1;
+  ep.session.Bfd.session_state <- Bfd.Down;
+  ep.ticks_since_rx <- 0
+
+let deliver_to ep packets =
+  List.iter
+    (fun wire_pkt ->
+      (* a corrupted or truncated packet must be rejected by the typed
+         decoder, never crash the session *)
+      match Bfd.decode wire_pkt with
+      | Error _ -> ()
+      | Ok p -> (
+        match Bfd.receive_control_packet ep.session p with
+        | `Discard _ -> ()
+        | `Ok ->
+          ep.rx_count <- ep.rx_count + 1;
+          ep.ticks_since_rx <- 0))
+    packets
+
+let run ?(detect_mult = 3) ?(plan = []) ~seed ~ticks () =
+  (* independent deterministic streams per direction, derived from the
+     one seed so a single integer reproduces the whole run *)
+  let a_to_b = Faults.create ~plan ~seed () in
+  let b_to_a = Faults.create ~plan ~seed:(seed + 0x5157) () in
+  let a = make_endpoint ~local_discr:1l ~detect_mult a_to_b in
+  let b = make_endpoint ~local_discr:2l ~detect_mult b_to_a in
+  let events = ref [] in
+  let was_up = ref false in
+  for tick = 1 to ticks do
+    (* transmit phase: each end emits one control packet per tick while
+       periodic transmission is enabled (ceased in demand mode) *)
+    let from_a =
+      if a.session.Bfd.periodic_tx_enabled then begin
+        a.tx_count <- a.tx_count + 1;
+        Faults.transmit a.wire (Bfd.encode (control_packet a))
+      end
+      else Faults.idle a.wire
+    in
+    let from_b =
+      if b.session.Bfd.periodic_tx_enabled then begin
+        b.tx_count <- b.tx_count + 1;
+        Faults.transmit b.wire (Bfd.encode (control_packet b))
+      end
+      else Faults.idle b.wire
+    in
+    (* receive phase *)
+    a.ticks_since_rx <- a.ticks_since_rx + 1;
+    b.ticks_since_rx <- b.ticks_since_rx + 1;
+    deliver_to b from_a;
+    deliver_to a from_b;
+    (* timer phase: detection-time expiry only matters once the session
+       has left Down (a Down session has nothing to detect, §6.8.4) *)
+    if a.session.Bfd.session_state <> Bfd.Down && detection_expired a then begin
+      declare_down a;
+      events := Detection_timeout { tick; at_a = true } :: !events
+    end;
+    if b.session.Bfd.session_state <> Bfd.Down && detection_expired b then begin
+      declare_down b;
+      events := Detection_timeout { tick; at_a = false } :: !events
+    end;
+    if
+      (not !was_up)
+      && a.session.Bfd.session_state = Bfd.Up
+      && b.session.Bfd.session_state = Bfd.Up
+    then begin
+      was_up := true;
+      events := Came_up tick :: !events
+    end;
+    if !was_up && (a.session.Bfd.session_state <> Bfd.Up
+                   || b.session.Bfd.session_state <> Bfd.Up)
+    then was_up := false
+  done;
+  {
+    ticks;
+    a_state = a.session.Bfd.session_state;
+    b_state = b.session.Bfd.session_state;
+    a_rx = a.rx_count;
+    b_rx = b.rx_count;
+    a_tx = a.tx_count;
+    b_tx = b.tx_count;
+    events = List.rev !events;
+  }
+
+let came_up o =
+  List.exists (function Came_up _ -> true | _ -> false) o.events
+
+let detection_timeouts o =
+  List.filter_map
+    (function Detection_timeout { tick; _ } -> Some tick | _ -> None)
+    o.events
+
+let pp_event ppf = function
+  | Came_up t -> Format.fprintf ppf "tick %d: session Up at both ends" t
+  | Detection_timeout { tick; at_a } ->
+    Format.fprintf ppf
+      "tick %d: detection time expired at %s (diag 1, session Down)" tick
+      (if at_a then "A" else "B")

@@ -1,0 +1,46 @@
+(** A point-to-point BFD link under fault injection.
+
+    Two {!Sage_net.Bfd.session}s exchange control packets over two
+    independent {!Faults} processes (one per direction), both derived
+    from a single seed, on a shared tick clock: one tick is one
+    desired-min-tx interval, so RFC 5880's detection time of
+    [detect_mult x interval] is [detect_mult] ticks without receiving a
+    packet.  The harness checks that the hand-written session logic
+    honours detection-time semantics under injected loss: the session
+    comes up over a clean (or mildly lossy) link, and a sustained loss
+    burst expires the detection timer — session Down, diag 1 ("Control
+    Detection Time Expired") — rather than wedging. *)
+
+type event =
+  | Came_up of int
+      (** tick at which both endpoints first (re-)reached Up *)
+  | Detection_timeout of { tick : int; at_a : bool }
+      (** detection time expired: the endpoint declared the session Down
+          with diag 1 *)
+
+type outcome = {
+  ticks : int;
+  a_state : Sage_net.Bfd.session_state;
+  b_state : Sage_net.Bfd.session_state;
+  a_rx : int;  (** control packets endpoint A accepted *)
+  b_rx : int;
+  a_tx : int;  (** control packets endpoint A offered to the wire *)
+  b_tx : int;
+  events : event list;  (** in tick order *)
+}
+
+val run :
+  ?detect_mult:int -> ?plan:Faults.plan -> seed:int -> ticks:int -> unit ->
+  outcome
+(** Run the link for [ticks] ticks.  [detect_mult] (default 3) is both
+    ends' detection multiplier; [plan] (default none) applies to both
+    directions, each with its own PRNG stream derived from [seed], so
+    the whole run is reproducible from the one integer. *)
+
+val came_up : outcome -> bool
+(** The session reached Up at both ends at some point. *)
+
+val detection_timeouts : outcome -> int list
+(** Ticks at which either endpoint's detection time expired. *)
+
+val pp_event : Format.formatter -> event -> unit

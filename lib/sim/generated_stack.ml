@@ -60,7 +60,9 @@ let build_message ?(params = []) ?(data = Bytes.empty) ~src ~dst t ~fn =
 
 let original_excerpt_params original =
   match Ipv4.decode original with
-  | Error e -> Error (Printf.sprintf "original datagram: %s" e)
+  | Error e ->
+    Error
+      (Printf.sprintf "original datagram: %s" (Sage_net.Decode_error.to_string e))
   | Ok (hdr, payload) ->
     let hlen = Ipv4.header_len hdr in
     Ok
@@ -99,7 +101,9 @@ let process_request ?(params = []) t ~fn ~request =
   Result.bind (find_function t fn) (fun f ->
       Result.bind (struct_for t fn) (fun sd ->
           match Ipv4.decode request with
-          | Error e -> Error (Printf.sprintf "request: %s" e)
+          | Error e ->
+            Error
+              (Printf.sprintf "request: %s" (Sage_net.Decode_error.to_string e))
           | Ok (req_hdr, req_payload) ->
             (match Pv.deserialize sd req_payload with
              | Error e -> Error e

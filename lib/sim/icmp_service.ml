@@ -26,13 +26,13 @@ type t = {
 
 let reference_echo_reply ~request =
   match Ipv4.decode request with
-  | Error e -> Error e
+  | Error e -> Error (Sage_net.Decode_error.to_string e)
   | Ok (hdr, payload) ->
     if hdr.Ipv4.protocol <> Ipv4.protocol_icmp then Ok None
     else if not (Icmp.checksum_ok payload) then Ok None
     else
       (match Icmp.decode payload with
-       | Error e -> Error e
+       | Error e -> Error (Sage_net.Decode_error.to_string e)
        | Ok (Icmp.Echo echo) ->
          let reply = Icmp.encode (Icmp.Echo_reply echo) in
          let rhdr =
@@ -62,7 +62,7 @@ let reference_echo_reply ~request =
 
 let reference_error ~kind ~original ~router =
   match Ipv4.decode original with
-  | Error e -> Error e
+  | Error e -> Error (Sage_net.Decode_error.to_string e)
   | Ok (ohdr, _) ->
     let excerpt = Icmp.original_datagram_excerpt original in
     let message =
@@ -102,7 +102,7 @@ let generated stack =
      is generated *)
   let echo_reply ~request =
     match Ipv4.decode request with
-    | Error e -> Error e
+    | Error e -> Error (Sage_net.Decode_error.to_string e)
     | Ok (_, payload) when Bytes.length payload < 1 -> Ok None
     | Ok (_, payload) ->
       let ty = Char.code (Bytes.get payload 0) in
@@ -156,7 +156,7 @@ let generated stack =
           (* patch the code octet and refresh the ICMP checksum, as the
              router's calling convention does for a specific code point *)
           (match Ipv4.decode dgram with
-           | Error e -> Error e
+           | Error e -> Error (Sage_net.Decode_error.to_string e)
            | Ok (hdr, payload) ->
              let payload = Bytes.copy payload in
              Sage_net.Bytes_util.set_u8 payload 1 c;

@@ -14,13 +14,13 @@ let groups t = t.members
 
 let receive t dgram =
   match Ipv4.decode dgram with
-  | Error e -> Error e
+  | Error e -> Error (Sage_net.Decode_error.to_string e)
   | Ok (hdr, payload) ->
     if hdr.Ipv4.protocol <> Ipv4.protocol_igmp then Ok []
     else if not (Igmp.checksum_ok payload) then Error "bad IGMP checksum"
     else
       (match Igmp.decode payload with
-       | Error e -> Error e
+       | Error e -> Error (Sage_net.Decode_error.to_string e)
        | Ok msg ->
          (match msg.Igmp.kind with
           | Igmp.Host_membership_query ->

@@ -2,6 +2,7 @@ module Addr = Sage_net.Addr
 module Ipv4 = Sage_net.Ipv4
 module Udp = Sage_net.Udp
 module Pcap = Sage_net.Pcap
+module Decode_error = Sage_net.Decode_error
 
 type delivery =
   | Delivered of Addr.t
@@ -21,12 +22,15 @@ type t = {
   transit : Addr.t list;
       (* additional routers between the first hop and the servers *)
   cap : Pcap.capture;
+  faults : Faults.t option;
+      (* when present, every [send] passes through the fault process *)
 }
 
 let p = Addr.prefix_of_string_exn
 let a = Addr.of_string_exn
 
-let default_topology ?(service = Icmp_service.reference) ?(extra_hops = 0) () =
+let default_topology ?(service = Icmp_service.reference) ?(extra_hops = 0)
+    ?faults () =
   let transit =
     List.init extra_hops (fun i -> Addr.of_octets 10 255 0 (i + 1))
   in
@@ -49,6 +53,7 @@ let default_topology ?(service = Icmp_service.reference) ?(extra_hops = 0) () =
     mtu = 1500;
     transit;
     cap = Pcap.create ();
+    faults;
   }
 
 let client_addr t = (List.nth t.hosts 0).addr
@@ -83,7 +88,7 @@ let is_router_addr t addr =
    (traceroute behaviour). *)
 let host_receive t (host : host) dgram =
   match Ipv4.decode dgram with
-  | Error e -> Dropped e
+  | Error e -> Dropped (Decode_error.to_string e)
   | Ok (hdr, _payload) ->
     if hdr.Ipv4.protocol = Ipv4.protocol_icmp then
       match t.service.Icmp_service.echo_reply ~request:dgram with
@@ -105,12 +110,12 @@ let host_receive t (host : host) dgram =
            Icmp_response err
          | Error e -> Dropped e)
       | Ok _ -> Delivered host.addr
-      | Error e -> Dropped e
+      | Error e -> Dropped (Decode_error.to_string e)
     else Delivered host.addr
 
 let router_receive t ~ingress_subnet dgram =
   match Ipv4.decode dgram with
-  | Error e -> Dropped e
+  | Error e -> Dropped (Decode_error.to_string e)
   | Ok (hdr, _) ->
     let respond kind =
       let router =
@@ -203,7 +208,7 @@ let router_receive t ~ingress_subnet dgram =
           in
           hop_through t.transit (hdr.Ipv4.ttl - 1)
 
-let send t ~from dgram =
+let route t ~from dgram =
   record t dgram;
   let ingress_subnet =
     match List.find_opt (fun h -> Addr.equal h.addr from) t.hosts with
@@ -211,7 +216,7 @@ let send t ~from dgram =
     | None -> (List.nth t.hosts 0).subnet
   in
   match Ipv4.decode dgram with
-  | Error e -> Dropped e
+  | Error e -> Dropped (Decode_error.to_string e)
   | Ok (hdr, _) ->
     if Addr.equal hdr.Ipv4.dst from then Delivered from
     else
@@ -222,3 +227,20 @@ let send t ~from dgram =
        | Some host when Addr.mem host.addr ingress_subnet ->
          host_receive t host dgram
        | Some _ | None -> router_receive t ~ingress_subnet dgram)
+
+(* Every packet exiting the fault process this tick is routed in order;
+   the capture records what is actually on the wire (after corruption,
+   truncation or duplication), so a seeded run's pcap is reproducible. *)
+let send_all t ~from dgram =
+  match t.faults with
+  | None -> [ route t ~from dgram ]
+  | Some f -> (
+    match Faults.transmit f dgram with
+    | [] -> [ Dropped "fault: packet lost in transit" ]
+    | on_wire -> List.map (route t ~from) on_wire)
+
+let send t ~from dgram =
+  let deliveries = send_all t ~from dgram in
+  match List.find_opt (function Dropped _ -> false | _ -> true) deliveries with
+  | Some d -> d
+  | None -> List.hd deliveries

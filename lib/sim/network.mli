@@ -15,12 +15,15 @@ type delivery =
   | Replied of bytes                    (** destination answered (echo...) *)
   | Dropped of string                   (** silently dropped, with reason *)
 
-val default_topology : ?service:Icmp_service.t -> ?extra_hops:int -> unit -> t
+val default_topology :
+  ?service:Icmp_service.t -> ?extra_hops:int -> ?faults:Faults.t -> unit -> t
 (** The appendix topology.  [service] defaults to {!Icmp_service.reference}
     and is the implementation running on the router {e and} hosts.
     [extra_hops] (default 0) inserts that many transit routers between
     the first-hop router and the servers, so traceroute sees a longer
-    path. *)
+    path.  [faults], when given, is a fault process every sent packet
+    passes through before reaching the network (see {!Faults}); the
+    capture then records the traffic as mutated by the faults. *)
 
 val client_addr : t -> Sage_net.Addr.t
 (** 10.0.1.50, the client host. *)
@@ -54,4 +57,11 @@ val capture : t -> Sage_net.Pcap.capture
 
 val send : t -> from:Sage_net.Addr.t -> bytes -> delivery
 (** Inject a datagram at a host and run it through the network until it
-    is delivered, answered, or dropped. *)
+    is delivered, answered, or dropped.  Under a fault plan this is the
+    first non-[Dropped] outcome of {!send_all} (or its first drop). *)
+
+val send_all : t -> from:Sage_net.Addr.t -> bytes -> delivery list
+(** Like {!send}, but returns the outcome of {e every} packet the fault
+    process put on the wire for this injection — duplicates yield two
+    deliveries, a dropped packet yields [[Dropped "fault: packet lost in
+    transit"]].  Without faults this is always a one-element list. *)

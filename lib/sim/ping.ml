@@ -41,7 +41,7 @@ let swapped16 v = ((v land 0xff) lsl 8) lor ((v lsr 8) land 0xff)
 
 let check_reply ~src ~target ~identifier ~seq ~payload reply =
   match Ipv4.decode reply with
-  | Error e -> Bad_reply [ Ip_header_wrong e ]
+  | Error e -> Bad_reply [ Ip_header_wrong (Sage_net.Decode_error.to_string e) ]
   | Ok (hdr, body) ->
     let failures = ref [] in
     let fail f = failures := f :: !failures in
@@ -127,6 +127,9 @@ let ping ?(count = 3) ?(identifier = 0x2327) ?(payload_len = 56) ~net target =
     checks := check :: !checks
   done;
   { target; sent = count; received = !received; checks = List.rev !checks }
+
+let lost r = r.sent - r.received
+let loss_rate r = if r.sent = 0 then 0.0 else 100.0 *. float_of_int (lost r) /. float_of_int r.sent
 
 let success r =
   r.sent = r.received

@@ -39,6 +39,15 @@ val ping :
   result
 (** Ping a target through the simulated network. *)
 
+val lost : result -> int
+(** Probes that drew no echo reply ([sent - received]); under an
+    injected-loss fault plan this is the loss count ping reports instead
+    of wedging. *)
+
+val loss_rate : result -> float
+(** Packet loss as a percentage of probes sent, like ping's own
+    "N% packet loss" summary line. *)
+
 val success : result -> bool
 (** All probes came back [Ok_reply]. *)
 

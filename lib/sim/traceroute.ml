@@ -55,7 +55,9 @@ let traceroute ?(max_ttl = 8) ?(first_port = 33434) ~net target =
         (match Ipv4.decode resp with
          | Error e ->
            { ttl = !ttl; responder = None; response_type = None;
-             quoted_probe_ok = false; note = "undecodable response: " ^ e }
+             quoted_probe_ok = false;
+             note =
+               "undecodable response: " ^ Sage_net.Decode_error.to_string e }
          | Ok (rh, body) ->
            let ty = if Bytes.length body >= 1 then Some (Bu.get_u8 body 0) else None in
            let quoted =
@@ -92,3 +94,10 @@ let traceroute ?(max_ttl = 8) ?(first_port = 33434) ~net target =
   { target; hops = List.rev !hops; reached = !reached }
 
 let hop_count r = List.length r.hops
+
+let lost_probes r =
+  List.length (List.filter (fun h -> h.responder = None) r.hops)
+
+let loss_rate r =
+  if r.hops = [] then 0.0
+  else 100.0 *. float_of_int (lost_probes r) /. float_of_int (hop_count r)

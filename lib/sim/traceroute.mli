@@ -23,3 +23,10 @@ val traceroute :
   ?max_ttl:int -> ?first_port:int -> net:Network.t -> Sage_net.Addr.t -> result
 
 val hop_count : result -> int
+
+val lost_probes : result -> int
+(** Probes that drew no attributable responder (printed as [*] by real
+    traceroute) — the per-hop loss count under an injected-loss plan. *)
+
+val loss_rate : result -> float
+(** [lost_probes] as a percentage of probes sent. *)

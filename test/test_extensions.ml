@@ -89,7 +89,7 @@ let test_tcp_generated_constraints_execute () =
            check Alcotest.int64 "urgent pointer zeroed" 0L
              (Result.get_ok (Sage_interp.Packet_view.get v "urgent_pointer"))
          | Error e -> Alcotest.fail e)
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
    | Ok None -> Alcotest.fail "discarded unexpectedly"
    | Error e -> Alcotest.fail e);
   (* RST set -> discard *)
@@ -202,8 +202,8 @@ let test_switch_answers_query () =
              check Alcotest.bool "addressed to the group" true
                (Addr.equal hdr.Ipv4.dst m.Igmp.group);
              check Alcotest.bool "checksum valid" true (Igmp.checksum_ok payload)
-           | Error e -> Alcotest.fail e)
-        | Error e -> Alcotest.fail e)
+           | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
+        | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
       reports
   | Error e -> Alcotest.fail e
 
@@ -264,7 +264,7 @@ let test_generated_query_drives_switch () =
      | Ok (_, payload) ->
        check Alcotest.bool "valid report to the generated query" true
          (Igmp.checksum_ok payload)
-     | Error e -> Alcotest.fail e)
+     | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
   | Ok rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs)
   | Error e -> Alcotest.failf "switch rejected the generated query: %s" e
 

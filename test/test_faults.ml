@@ -1,0 +1,489 @@
+(* The fault-injection harness: deterministic fault processes, loss-tolerant
+   ping/traceroute statistics, BFD detection-time semantics under loss,
+   decoder fuzzing (no exception may escape a typed decoder), bytes_util
+   bounds enforcement, the interpreter step budget, and per-sentence crash
+   containment in the pipeline. *)
+
+module F = Sage_sim.Faults
+module Net = Sage_sim.Network
+module Ping = Sage_sim.Ping
+module Tr = Sage_sim.Traceroute
+module Bl = Sage_sim.Bfd_link
+module Addr = Sage_net.Addr
+module Ipv4 = Sage_net.Ipv4
+module Icmp = Sage_net.Icmp
+module Udp = Sage_net.Udp
+module Ntp = Sage_net.Ntp
+module Igmp = Sage_net.Igmp
+module Bfd = Sage_net.Bfd
+module Bu = Sage_net.Bytes_util
+module Pcap = Sage_net.Pcap
+module P = Sage.Pipeline
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+let rule probability fault = { F.probability; fault }
+let always fault = [ rule 1.0 fault ]
+let pkt s = Bytes.of_string s
+
+(* ---- fault process unit behavior ---- *)
+
+let test_passthrough () =
+  let f = F.create ~seed:1 () in
+  (match F.transmit f (pkt "hello") with
+   | [ out ] -> check Alcotest.bytes "unchanged" (pkt "hello") out
+   | outs -> Alcotest.failf "%d packets" (List.length outs));
+  check Alcotest.int "tick advanced" 1 (F.tick f)
+
+let test_drop () =
+  let f = F.create ~plan:(always F.Drop) ~seed:1 () in
+  check Alcotest.int "dropped" 0 (List.length (F.transmit f (pkt "x")));
+  check Alcotest.int "and again" 0 (List.length (F.transmit f (pkt "y")))
+
+let test_duplicate () =
+  let f = F.create ~plan:(always F.Duplicate) ~seed:1 () in
+  match F.transmit f (pkt "dd") with
+  | [ a; b ] ->
+    check Alcotest.bytes "first copy" (pkt "dd") a;
+    check Alcotest.bytes "second copy" (pkt "dd") b
+  | outs -> Alcotest.failf "expected 2 copies, got %d" (List.length outs)
+
+let test_delay () =
+  let f = F.create ~plan:(always (F.Delay 2)) ~seed:1 () in
+  check Alcotest.int "withheld" 0 (List.length (F.transmit f (pkt "late")));
+  let drained =
+    (* the packet must emerge within the next few idle ticks, intact *)
+    List.concat_map (fun _ -> F.idle f) [ (); (); (); () ]
+  in
+  (match drained with
+   | [ out ] -> check Alcotest.bytes "released intact" (pkt "late") out
+   | outs -> Alcotest.failf "expected 1 released packet, got %d" (List.length outs));
+  check Alcotest.int "nothing left" 0 (List.length (F.flush f))
+
+let test_corrupt () =
+  let original = pkt "abcd" in
+  let f =
+    F.create ~plan:(always (F.Corrupt { offset = 1; mask = 0xff })) ~seed:1 ()
+  in
+  match F.transmit f original with
+  | [ out ] ->
+    check Alcotest.int "byte flipped" (0xff lxor Char.code 'b') (Bu.get_u8 out 1);
+    check Alcotest.int "neighbours untouched" (Char.code 'a') (Bu.get_u8 out 0);
+    (* corruption operates on a copy, never on the sender's buffer *)
+    check Alcotest.bytes "original intact" (pkt "abcd") original
+  | outs -> Alcotest.failf "%d packets" (List.length outs)
+
+let test_corrupt_empty_packet () =
+  let f =
+    F.create ~plan:(always (F.Corrupt { offset = 3; mask = 0x80 })) ~seed:1 ()
+  in
+  (* corrupting a zero-length packet must not raise *)
+  check Alcotest.int "empty survives" 1 (List.length (F.transmit f Bytes.empty))
+
+let test_truncate () =
+  let f = F.create ~plan:(always (F.Truncate 2)) ~seed:1 () in
+  (match F.transmit f (pkt "abcd") with
+   | [ out ] -> check Alcotest.bytes "prefix kept" (pkt "ab") out
+   | outs -> Alcotest.failf "%d packets" (List.length outs));
+  match F.transmit f (pkt "a") with
+  | [ out ] -> check Alcotest.bytes "shorter than cut" (pkt "a") out
+  | outs -> Alcotest.failf "%d packets" (List.length outs)
+
+let test_reorder () =
+  let f = F.create ~plan:(always F.Reorder) ~seed:1 () in
+  check Alcotest.int "first withheld" 0 (List.length (F.transmit f (pkt "p1")));
+  (match F.transmit f (pkt "p2") with
+   | [ out ] -> check Alcotest.bytes "first released second" (pkt "p1") out
+   | outs -> Alcotest.failf "%d packets" (List.length outs));
+  match F.flush f with
+  | [ out ] -> check Alcotest.bytes "flush releases the held one" (pkt "p2") out
+  | outs -> Alcotest.failf "flush returned %d" (List.length outs)
+
+let test_stream_determinism () =
+  let deliveries plan seed =
+    let f = F.create ~plan ~seed () in
+    List.concat_map
+      (fun i -> F.transmit f (pkt (string_of_int i)))
+      (List.init 100 Fun.id)
+    @ F.flush f
+  in
+  let plan = [ rule 0.5 F.Drop; rule 0.2 F.Duplicate; rule 0.1 (F.Delay 2) ] in
+  let a = deliveries plan 7 and b = deliveries plan 7 in
+  check Alcotest.(list bytes) "same seed, same schedule" a b;
+  let c = deliveries plan 8 in
+  check Alcotest.bool "different seed, different schedule" true (a <> c)
+
+(* ---- plan parsing ---- *)
+
+let test_plan_roundtrip () =
+  let s = "drop@0.1,dup@0.05,delay:3@0.2,corrupt:8:0x04@0.02,truncate:20@0.1,reorder@0.1" in
+  match F.plan_of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    check Alcotest.int "six rules" 6 (List.length plan);
+    (match F.plan_of_string (F.plan_to_string plan) with
+     | Ok plan' -> check Alcotest.bool "roundtrip" true (plan = plan')
+     | Error e -> Alcotest.failf "reparse failed: %s" e)
+
+let test_plan_errors () =
+  let rejects s =
+    match F.plan_of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" s
+  in
+  List.iter rejects
+    [ ""; "drop"; "drop@1.5"; "drop@-0.1"; "warp@0.5"; "delay@0.5"; "delay:x@0.5" ]
+
+(* ---- network integration ---- *)
+
+let lossy_net ?(plan = always F.Drop) ?(seed = 1) () =
+  Net.default_topology ~faults:(F.create ~plan ~seed ()) ()
+
+let some_dgram net =
+  let src = Net.client_addr net and dst = Net.server1_addr net in
+  let icmp =
+    Icmp.encode
+      (Icmp.Echo
+         { Icmp.echo_code = 0; identifier = 9; sequence = 1;
+           payload = Bytes.make 8 'x' })
+  in
+  let hdr =
+    Ipv4.make ~protocol:Ipv4.protocol_icmp ~src ~dst
+      ~payload_len:(Bytes.length icmp) ()
+  in
+  Ipv4.encode hdr ~payload:icmp
+
+let test_send_all_total_loss () =
+  let net = lossy_net () in
+  let dgram = some_dgram net in
+  match Net.send_all net ~from:(Net.client_addr net) dgram with
+  | [ Net.Dropped reason ] ->
+    check Alcotest.string "reason" "fault: packet lost in transit" reason
+  | _ -> Alcotest.fail "expected a single fault drop"
+
+let test_ping_loss_statistics () =
+  let net = lossy_net () in
+  let r = Ping.ping ~count:4 ~net (Net.server1_addr net) in
+  check Alcotest.bool "not a success" false (Ping.success r);
+  check Alcotest.int "sent" 4 r.Ping.sent;
+  check Alcotest.int "received" 0 r.Ping.received;
+  check Alcotest.int "lost" 4 (Ping.lost r);
+  check (Alcotest.float 0.0) "loss rate" 100.0 (Ping.loss_rate r);
+  let clean = Net.default_topology () in
+  let r = Ping.ping ~count:4 ~net:clean (Net.server1_addr clean) in
+  check (Alcotest.float 0.0) "clean loss rate" 0.0 (Ping.loss_rate r)
+
+let test_traceroute_loss_statistics () =
+  let net = lossy_net () in
+  let r = Tr.traceroute ~max_ttl:5 ~net (Net.server1_addr net) in
+  check Alcotest.bool "never reached" false r.Tr.reached;
+  check Alcotest.int "all probes unanswered" 5 (Tr.lost_probes r);
+  check (Alcotest.float 0.0) "probe loss" 100.0 (Tr.loss_rate r)
+
+let capture_of_faulted_ping ~seed ~plan =
+  let net = Net.default_topology ~faults:(F.create ~plan ~seed ()) () in
+  let r = Ping.ping ~count:20 ~net (Net.server1_addr net) in
+  (r, Pcap.to_bytes (Net.capture net))
+
+let test_seeded_ping_reproducible () =
+  (* acceptance: a fixed-seed ping run over a 10%-loss plan produces a
+     byte-for-byte identical capture when repeated *)
+  let plan = [ rule 0.1 F.Drop ] in
+  let r1, cap1 = capture_of_faulted_ping ~seed:42 ~plan in
+  let r2, cap2 = capture_of_faulted_ping ~seed:42 ~plan in
+  check Alcotest.bytes "identical pcap capture" cap1 cap2;
+  check Alcotest.int "identical delivery count" r1.Ping.received r2.Ping.received;
+  let _, cap3 = capture_of_faulted_ping ~seed:43 ~plan in
+  check Alcotest.bool "another seed differs" true (not (Bytes.equal cap1 cap3))
+
+(* ---- BFD under fault injection ---- *)
+
+let test_bfd_clean_link_comes_up () =
+  let o = Bl.run ~seed:1 ~ticks:30 () in
+  check Alcotest.bool "came up" true (Bl.came_up o);
+  check Alcotest.string "a up" "Up" (Bfd.state_name o.Bl.a_state);
+  check Alcotest.string "b up" "Up" (Bfd.state_name o.Bl.b_state);
+  check Alcotest.(list int) "no detection timeouts" [] (Bl.detection_timeouts o);
+  check Alcotest.bool "traffic flowed" true (o.Bl.a_rx > 0 && o.Bl.b_rx > 0)
+
+let test_bfd_mild_loss_still_comes_up () =
+  (* 10% loss never produces detect_mult consecutive losses in this run:
+     the session must stay Up rather than flap *)
+  let o = Bl.run ~plan:[ rule 0.1 F.Drop ] ~seed:3 ~ticks:60 () in
+  check Alcotest.bool "came up" true (Bl.came_up o);
+  check Alcotest.bool "fewer received than offered" true
+    (o.Bl.a_rx + o.Bl.b_rx <= o.Bl.a_tx + o.Bl.b_tx)
+
+let test_bfd_detection_timeout_under_loss () =
+  (* heavy sustained loss: the detection timer (detect_mult ticks without
+     a packet) must expire and declare the session Down with diag 1,
+     honoring RFC 5880 detection-time semantics instead of wedging *)
+  let o = Bl.run ~plan:[ rule 0.6 F.Drop ] ~seed:5 ~ticks:200 () in
+  check Alcotest.bool "session was up at some point" true (Bl.came_up o);
+  check Alcotest.bool "detection time expired" true
+    (Bl.detection_timeouts o <> [])
+
+let test_bfd_outcome_reproducible () =
+  let run () = Bl.run ~plan:[ rule 0.4 F.Drop ] ~seed:11 ~ticks:100 () in
+  let a = run () and b = run () in
+  check Alcotest.bool "identical outcome" true (a = b)
+
+(* ---- decoder fuzz: no exception escapes a typed decoder ---- *)
+
+(* a self-contained xorshift so the corpus is reproducible without
+   depending on the Faults PRNG under test *)
+let xorshift state =
+  let open Int64 in
+  let x = logxor !state (shift_left !state 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  state := x;
+  to_int (logand x 0x3fffffffL)
+
+let random_packet rng =
+  let len = xorshift rng mod 81 in
+  Bytes.init len (fun _ -> Char.chr (xorshift rng land 0xff))
+
+let base_packets () =
+  let src = Addr.of_octets 10 0 1 50 and dst = Addr.of_octets 192 168 2 10 in
+  let icmp =
+    Icmp.encode
+      (Icmp.Echo
+         { Icmp.echo_code = 0; identifier = 7; sequence = 2;
+           payload = Bytes.make 16 '\x42' })
+  in
+  let ip_hdr =
+    Ipv4.make ~protocol:Ipv4.protocol_icmp ~src ~dst
+      ~payload_len:(Bytes.length icmp) ()
+  in
+  let udp_payload = Bytes.make 12 '\x11' in
+  let udp =
+    Udp.encode ~src ~dst
+      (Udp.make ~src_port:43210 ~dst_port:33434
+         ~payload_len:(Bytes.length udp_payload))
+      ~payload:udp_payload
+  in
+  let ntp =
+    Ntp.encode
+      { Ntp.leap_indicator = 0; status = 0; stratum = 1; poll = 6;
+        precision = -10; sync_distance = 0l; drift_rate = 0l;
+        reference_clock_id = 0x4c4f434cl; reference_timestamp = 1L;
+        originate_timestamp = 2L; receive_timestamp = 3L;
+        transmit_timestamp = 4L }
+  in
+  [
+    Ipv4.encode ip_hdr ~payload:icmp;
+    icmp;
+    udp;
+    ntp;
+    Igmp.encode Igmp.query;
+    Bfd.encode Bfd.default_packet;
+  ]
+
+let fuzz_corpus () =
+  let rng = ref 0x5eedf00dL in
+  let random = List.init 600 (fun _ -> random_packet rng) in
+  let bases = base_packets () in
+  (* every truncation of every well-formed packet: exercises the length
+     checks of every decoder at every boundary *)
+  let truncations =
+    List.concat_map
+      (fun b -> List.init (Bytes.length b + 1) (fun k -> Bytes.sub b 0 k))
+      bases
+  in
+  (* well-formed packets with one byte flipped: past the length checks,
+     into version/field/checksum validation *)
+  let corrupted =
+    List.concat_map
+      (fun b ->
+        List.init 40 (fun _ ->
+            let c = Bytes.copy b in
+            let off = xorshift rng mod Bytes.length c in
+            Bu.set_u8 c off (Bu.get_u8 c off lxor (1 lsl (xorshift rng mod 8)));
+            c))
+      bases
+  in
+  random @ truncations @ corrupted
+
+let decoders =
+  let src = Addr.of_octets 10 0 1 50 and dst = Addr.of_octets 192 168 2 10 in
+  [
+    ("Ipv4.decode", fun b -> ignore (Ipv4.decode b));
+    ("Ipv4.decode_verified", fun b -> ignore (Ipv4.decode_verified b));
+    ("Icmp.decode", fun b -> ignore (Icmp.decode b));
+    ("Icmp.decode_verified", fun b -> ignore (Icmp.decode_verified b));
+    ("Icmp.checksum_ok", fun b -> ignore (Icmp.checksum_ok b));
+    ("Udp.decode", fun b -> ignore (Udp.decode b));
+    ("Udp.decode_verified", fun b -> ignore (Udp.decode_verified ~src ~dst b));
+    ("Ntp.decode", fun b -> ignore (Ntp.decode b));
+    ("Igmp.decode", fun b -> ignore (Igmp.decode b));
+    ("Igmp.decode_verified", fun b -> ignore (Igmp.decode_verified b));
+    ("Bfd.decode", fun b -> ignore (Bfd.decode b));
+  ]
+
+let test_decoder_fuzz () =
+  let corpus = fuzz_corpus () in
+  check Alcotest.bool "corpus is large enough" true (List.length corpus >= 1000);
+  List.iter
+    (fun packet ->
+      List.iter
+        (fun (name, decode) ->
+          try decode packet
+          with exn ->
+            Alcotest.failf "%s raised %s on %d bytes: %s" name
+              (Printexc.to_string exn) (Bytes.length packet)
+              (Bu.hex ~max:24 packet))
+        decoders)
+    corpus
+
+(* ---- bytes_util bounds enforcement ---- *)
+
+let oob name fn =
+  Alcotest.check_raises name (Invalid_argument name) fn
+
+let test_bytes_util_bounds () =
+  let b = Bytes.make 4 '\000' in
+  oob "Bytes_util.get_u8: offset 4 width 1 out of bounds (length 4)"
+    (fun () -> ignore (Bu.get_u8 b 4));
+  oob "Bytes_util.get_u8: offset -1 width 1 out of bounds (length 4)"
+    (fun () -> ignore (Bu.get_u8 b (-1)));
+  oob "Bytes_util.get_u16: offset 3 width 2 out of bounds (length 4)"
+    (fun () -> ignore (Bu.get_u16 b 3));
+  oob "Bytes_util.get_u32: offset 1 width 4 out of bounds (length 4)"
+    (fun () -> ignore (Bu.get_u32 b 1));
+  oob "Bytes_util.get_u64: offset 0 width 8 out of bounds (length 4)"
+    (fun () -> ignore (Bu.get_u64 b 0));
+  oob "Bytes_util.set_u8: offset 4 width 1 out of bounds (length 4)"
+    (fun () -> Bu.set_u8 b 4 0xff);
+  oob "Bytes_util.set_u16: offset -2 width 2 out of bounds (length 4)"
+    (fun () -> Bu.set_u16 b (-2) 0xffff);
+  oob "Bytes_util.set_u32: offset 2 width 4 out of bounds (length 4)"
+    (fun () -> Bu.set_u32 b 2 0l);
+  oob "Bytes_util.set_u64: offset 0 width 8 out of bounds (length 4)"
+    (fun () -> Bu.set_u64 b 0 0L);
+  oob "Bytes_util.blit_string: offset 2 width 3 out of bounds (length 4)"
+    (fun () -> Bu.blit_string "abc" b 2);
+  (* in-bounds accessors still round-trip *)
+  Bu.set_u16 b 0 0xbeef;
+  check Alcotest.int "u16 roundtrip" 0xbeef (Bu.get_u16 b 0);
+  Bu.set_u32 b 0 0xdeadbeefl;
+  check Alcotest.int32 "u32 roundtrip" 0xdeadbeefl (Bu.get_u32 b 0)
+
+let test_hex_truncation () =
+  let b = Bytes.of_string "\x01\x02\x03\x04" in
+  check Alcotest.string "full" "01 02 03 04" (Bu.hex b);
+  check Alcotest.string "capped" "01 02 ..." (Bu.hex ~max:2 b)
+
+(* ---- interpreter step budget ---- *)
+
+module Hd = Sage_rfc.Header_diagram
+module Pv = Sage_interp.Packet_view
+module Rt = Sage_interp.Runtime
+module Exec = Sage_interp.Exec
+module Ir = Sage_codegen.Ir
+
+let echo_layout =
+  Result.get_ok
+    (Hd.parse ~name:"echo"
+       "   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+       \   |     Type      |     Code      |          Checksum             |\n\
+       \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+       \   |           Identifier          |        Sequence Number        |\n\
+       \   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+\n\
+       \   |     Data ...\n\
+       \   +-+-+-+-+-")
+
+let make_rt ?step_budget () =
+  let proto = Pv.create echo_layout in
+  let ip =
+    Rt.ip_info ~src:(Addr.of_octets 10 0 1 50) ~dst:(Addr.of_octets 192 168 2 10)
+      ()
+  in
+  Rt.create ?step_budget ~proto ~ip ()
+
+let assign_type v = Ir.Assign (Ir.Lfield (Ir.Proto, "type"), Ir.Int v)
+
+let test_step_budget_exhaustion () =
+  let rt = make_rt ~step_budget:5 () in
+  match Exec.run_stmts rt (List.init 20 assign_type) with
+  | () -> Alcotest.fail "budget never tripped"
+  | exception Exec.Runtime_error msg ->
+    check Alcotest.bool "mentions the budget" true
+      (Astring_contains.contains msg "step budget exhausted")
+
+let test_step_budget_default_is_roomy () =
+  let rt = make_rt () in
+  Exec.run_stmts rt (List.init 200 assign_type);
+  check Alcotest.bool "well under budget" true
+    (rt.Rt.steps < Rt.default_step_budget)
+
+(* ---- pipeline crash containment ---- *)
+
+(* a minimal RFC-shaped document with one field-description sentence *)
+let crash_doc =
+  String.concat "\n"
+    [
+      "Echo Message";
+      "";
+      "   ICMP Fields:";
+      "";
+      "   Checksum";
+      "";
+      "      The checksum is zero.";
+      "";
+    ]
+
+let test_pipeline_survives_crashing_check () =
+  let crashing =
+    {
+      Sage_disambig.Checks.name = "injected-crash";
+      family = Sage_disambig.Checks.Type_check;
+      violates = (fun _ -> failwith "injected check crash");
+    }
+  in
+  let spec = { (P.icmp_spec ()) with P.extra_checks = [ crashing ] } in
+  (* the run must complete and report the crash, not abort *)
+  let run = P.run spec ~title:"crash-injection" ~text:crash_doc in
+  match P.crashed_sentences run with
+  | [] -> Alcotest.fail "crash was not contained / not reported"
+  | r :: _ ->
+    (match r.P.status with
+     | P.Crashed msg ->
+       check Alcotest.bool "reports the exception" true
+         (Astring_contains.contains msg "injected check crash")
+     | _ -> Alcotest.fail "crashed sentence has a non-Crashed status")
+
+let test_pipeline_clean_run_has_no_crashes () =
+  let run = P.run (P.icmp_spec ()) ~title:"clean" ~text:crash_doc in
+  check Alcotest.int "no crashed sentences" 0
+    (List.length (P.crashed_sentences run))
+
+let suite =
+  [
+    tc "faults passthrough" test_passthrough;
+    tc "faults drop" test_drop;
+    tc "faults duplicate" test_duplicate;
+    tc "faults delay" test_delay;
+    tc "faults corrupt" test_corrupt;
+    tc "faults corrupt empty packet" test_corrupt_empty_packet;
+    tc "faults truncate" test_truncate;
+    tc "faults reorder" test_reorder;
+    tc "faults stream determinism" test_stream_determinism;
+    tc "plan parse roundtrip" test_plan_roundtrip;
+    tc "plan parse errors" test_plan_errors;
+    tc "network total loss" test_send_all_total_loss;
+    tc "ping loss statistics" test_ping_loss_statistics;
+    tc "traceroute loss statistics" test_traceroute_loss_statistics;
+    tc "seeded ping capture reproducible" test_seeded_ping_reproducible;
+    tc "bfd clean link comes up" test_bfd_clean_link_comes_up;
+    tc "bfd mild loss still comes up" test_bfd_mild_loss_still_comes_up;
+    tc "bfd detection timeout under loss" test_bfd_detection_timeout_under_loss;
+    tc "bfd outcome reproducible" test_bfd_outcome_reproducible;
+    tc "decoder fuzz" test_decoder_fuzz;
+    tc "bytes_util bounds" test_bytes_util_bounds;
+    tc "bytes_util hex cap" test_hex_truncation;
+    tc "interp step budget exhaustion" test_step_budget_exhaustion;
+    tc "interp step budget headroom" test_step_budget_default_is_roomy;
+    tc "pipeline contains crashing check" test_pipeline_survives_crashing_check;
+    tc "pipeline clean run no crashes" test_pipeline_clean_run_has_no_crashes;
+  ]

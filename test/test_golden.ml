@@ -24,6 +24,7 @@ let golden ?field spec_lazy sentence expected =
   | P.Zero_lf -> Alcotest.failf "zero LFs: %s" sentence
   | P.Ambiguous lfs -> Alcotest.failf "%d survivors: %s" (List.length lfs) sentence
   | P.Annotated_non_actionable -> Alcotest.failf "annotated: %s" sentence
+  | P.Crashed e -> Alcotest.failf "crashed (%s): %s" e sentence
 
 (* ---- ICMP golden forms ---- *)
 

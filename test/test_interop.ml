@@ -83,7 +83,7 @@ let test_destination_unreachable_interop () =
        (* the quoted excerpt starts with the original IP header *)
        let quoted = Bytes.sub body 8 (Bytes.length body - 8) in
        check Alcotest.int "quote is header + 64 bits" 28 (Bytes.length quoted)
-     | Error e -> Alcotest.fail e)
+     | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
   | _ -> Alcotest.fail "expected destination unreachable"
 
 let test_original_corpus_fails_ping () =
@@ -218,7 +218,7 @@ let test_generated_echo_reply_matches_reference () =
     | _ -> Alcotest.fail "reference failed"
   in
   (* compare the ICMP payloads (IP identification fields may differ) *)
-  let icmp_of d = match Ipv4.decode d with Ok (_, p) -> p | Error e -> Alcotest.fail e in
+  let icmp_of d = match Ipv4.decode d with Ok (_, p) -> p | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e) in
   check Alcotest.bytes "identical ICMP bytes" (icmp_of reference) (icmp_of generated)
 
 let test_generated_to_generated () =
@@ -243,8 +243,8 @@ let test_generated_to_generated () =
           (Bytes.of_string "both-sides-generated") e.Icmp.payload;
         check Alcotest.bool "checksum" true (Icmp.checksum_ok payload)
       | Ok _ -> Alcotest.fail "not an echo request"
-      | Error e -> Alcotest.fail e)
-   | Error e -> Alcotest.fail e);
+      | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
+   | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e));
   match Gs.process_request st ~fn:"icmp_echo_reply_receiver" ~request with
   | Ok (Some reply) ->
     (match Ipv4.decode reply with
@@ -256,8 +256,8 @@ let test_generated_to_generated () =
           check Alcotest.bytes "payload echoed"
             (Bytes.of_string "both-sides-generated") e.Icmp.payload
         | Ok _ -> Alcotest.fail "not an echo reply"
-        | Error e -> Alcotest.fail e)
-     | Error e -> Alcotest.fail e)
+        | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
+     | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
   | Ok None -> Alcotest.fail "receiver discarded"
   | Error e -> Alcotest.fail e
 
@@ -286,8 +286,8 @@ let test_igmp_interop () =
           check Alcotest.bool "is a query" true
             (m.Sage_net.Igmp.kind = Sage_net.Igmp.Host_membership_query);
           check Alcotest.bool "checksum ok" true (Sage_net.Igmp.checksum_ok payload)
-        | Error e -> Alcotest.fail e)
-     | Error e -> Alcotest.fail e)
+        | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
+     | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
 
 let test_igmp_report_carries_group () =
   let run = P.run (P.igmp_spec ()) ~title:"igmp" ~text:Sage_corpus.Igmp_rfc.text in
@@ -307,8 +307,8 @@ let test_igmp_report_carries_group () =
         | Ok m ->
           check Alcotest.string "group address" "224.9.9.9"
             (Addr.to_string m.Sage_net.Igmp.group)
-        | Error e -> Alcotest.fail e)
-     | Error e -> Alcotest.fail e)
+        | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
+     | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
 
 (* ---- NTP (§6.3): generated packet with both NTP and UDP headers ---- *)
 
@@ -322,7 +322,7 @@ let test_ntp_generated_packet () =
   | Error e -> Alcotest.fail e
   | Ok dgram ->
     (match Ipv4.decode dgram with
-     | Error e -> Alcotest.fail e
+     | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e)
      | Ok (_, payload) ->
        (* the generated NTP message itself (48 bytes) *)
        (match Sage_net.Ntp.decode payload with
@@ -330,7 +330,7 @@ let test_ntp_generated_packet () =
           check Alcotest.int "poll 6" 6 pkt.Sage_net.Ntp.poll;
           check Alcotest.bool "transmit timestamp set" true
             (not (Int64.equal pkt.Sage_net.Ntp.transmit_timestamp 0L))
-        | Error e -> Alcotest.fail e))
+        | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e)))
 
 (* ---- BFD (§6.4): generated state management vs the reference ---- *)
 

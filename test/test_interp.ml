@@ -71,7 +71,7 @@ let test_view_serialize_matches_reference () =
     check Alcotest.bytes "payload" (Bytes.of_string "abc") e.Icmp.payload;
     check Alcotest.bool "checksum ok" true (Icmp.checksum_ok wire)
   | Ok _ -> Alcotest.fail "wrong message type"
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e)
 
 let test_view_deserialize_roundtrip () =
   let msg =
@@ -107,7 +107,7 @@ let test_view_bitfields () =
     check Alcotest.bool "poll" true p.Sage_net.Bfd.poll;
     check Alcotest.bool "demand" true p.Sage_net.Bfd.demand;
     check Alcotest.int32 "my discr" 0xbeefl p.Sage_net.Bfd.my_discriminator
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e)
 
 let test_view_serialize_from () =
   let v = Pv.create echo_layout in

@@ -111,8 +111,9 @@ let test_pcap_file_roundtrip () =
 let test_bytes_util_bounds () =
   let b = Bytes.make 4 '\000' in
   Alcotest.check_raises "get_u32 out of range"
-    (Invalid_argument "index out of bounds") (fun () ->
-      ignore (Bu.get_u32 b 1))
+    (Invalid_argument
+       "Bytes_util.get_u32: offset 1 width 4 out of bounds (length 4)")
+    (fun () -> ignore (Bu.get_u32 b 1))
 
 (* ---- dictionary integrity ---- *)
 

@@ -12,6 +12,7 @@ let () =
       ("codegen", Test_codegen.suite);
       ("interp", Test_interp.suite);
       ("sim", Test_sim.suite);
+      ("faults", Test_faults.suite);
       ("pipeline", Test_pipeline.suite);
       ("interop", Test_interop.suite);
       ("extensions", Test_extensions.suite);

@@ -52,7 +52,7 @@ let test_destination_unreachable_scenario () =
        check Alcotest.string "addressed to client"
          (Addr.to_string (Net.client_addr net))
          (Addr.to_string hdr.Ipv4.dst)
-     | Error e -> Alcotest.fail e)
+     | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
   | _ -> Alcotest.fail "expected an ICMP error"
 
 let test_time_exceeded_scenario () =
@@ -67,7 +67,7 @@ let test_time_exceeded_scenario () =
      | Ok (_, body) ->
        check Alcotest.int "type 11" Icmp.type_time_exceeded
          (Sage_net.Bytes_util.get_u8 body 0)
-     | Error e -> Alcotest.fail e)
+     | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
   | _ -> Alcotest.fail "expected time exceeded"
 
 let test_parameter_problem_scenario () =
@@ -84,7 +84,7 @@ let test_parameter_problem_scenario () =
          (Sage_net.Bytes_util.get_u8 body 0);
        check Alcotest.int "pointer at ToS octet" 1
          (Sage_net.Bytes_util.get_u8 body 4)
-     | Error e -> Alcotest.fail e)
+     | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
   | _ -> Alcotest.fail "expected parameter problem"
 
 let test_source_quench_scenario () =
@@ -100,7 +100,7 @@ let test_source_quench_scenario () =
      | Ok (_, body) ->
        check Alcotest.int "type 4" Icmp.type_source_quench
          (Sage_net.Bytes_util.get_u8 body 0)
-     | Error e -> Alcotest.fail e)
+     | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
   | _ -> Alcotest.fail "expected source quench"
 
 let test_frag_needed_scenario () =
@@ -123,7 +123,7 @@ let test_frag_needed_scenario () =
           (Sage_net.Bytes_util.get_u8 body 0);
         check Alcotest.int "code 4 (frag needed, DF set)" 4
           (Sage_net.Bytes_util.get_u8 body 1)
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
    | _ -> Alcotest.fail "expected fragmentation-needed error");
   (* without DF the same datagram is forwarded *)
   let hdr = { hdr with Ipv4.flags = 0 } in
@@ -177,7 +177,7 @@ let test_redirect_scenario () =
      | Ok (_, body) ->
        check Alcotest.int "type 5" Icmp.type_redirect
          (Sage_net.Bytes_util.get_u8 body 0)
-     | Error e -> Alcotest.fail e)
+     | Error e -> Alcotest.fail (Sage_net.Decode_error.to_string e))
   | _ -> Alcotest.fail "expected redirect"
 
 let test_capture_records_traffic () =
