@@ -59,6 +59,28 @@ let verbose_arg =
   let doc = "Verbose logging." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Parallel workers for the sentence-analysis phase (0 = auto-detect one \
+     per core).  Needs OCaml 5 domains; on older compilers the run \
+     degrades to sequential.  Output is byte-identical for any value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let stats_arg =
+  let doc =
+    "After the run, print per-stage wall times, counters and the chart \
+     cache hit rate."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let cache_arg =
+  let doc =
+    "Memoize CCG charts in an LRU cache of the given capacity (entries); \
+     repeated token sequences across sections then parse once."
+  in
+  Arg.(value & opt (some int) None & info [ "cache" ] ~docv:"CAP" ~doc)
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
@@ -176,15 +198,19 @@ let derivation_cmd =
 (* sage run                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run_pipeline proto rewritten =
+let run_pipeline ?(jobs = 1) ?cache_cap proto rewritten =
   let spec = spec_of proto in
   let title, text = corpus_of proto rewritten in
-  P.run spec ~title ~text
+  let jobs = if jobs <= 0 then Sage_sched.Pool.default_jobs () else jobs in
+  let cache =
+    Option.map (fun capacity -> Sage.Chart_cache.create ~capacity ()) cache_cap
+  in
+  P.run_document ~jobs ?cache spec ~title ~text
 
 let run_cmd =
-  let run proto verbose rewritten =
+  let run proto verbose rewritten jobs cache_cap stats =
     setup_logs verbose;
-    let result = run_pipeline proto rewritten in
+    let result = run_pipeline ~jobs ?cache_cap proto rewritten in
     Printf.printf "document  : %s\n" result.P.document.Sage_rfc.Document.title;
     Printf.printf "sections  : %d\n"
       (List.length result.P.document.Sage_rfc.Document.sections);
@@ -215,12 +241,17 @@ let run_cmd =
              else r.P.sentence))
         result.P.sentences
     end;
+    if stats then begin
+      print_newline ();
+      print_string (Sage.Report.stats result)
+    end;
     0
   in
   let doc = "Run the full pipeline (parse, winnow, generate) over a corpus." in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg)
+    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
+          $ cache_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage code                                                           *)
@@ -231,9 +262,9 @@ let code_cmd =
     let doc = "Print only this generated function." in
     Arg.(value & opt (some string) None & info [ "f"; "function" ] ~docv:"NAME" ~doc)
   in
-  let run proto verbose rewritten fn =
+  let run proto verbose rewritten jobs fn =
     setup_logs verbose;
-    let result = run_pipeline proto rewritten in
+    let result = run_pipeline ~jobs proto rewritten in
     (match fn with
      | None -> print_string result.P.codegen.P.c_code
      | Some name ->
@@ -249,16 +280,17 @@ let code_cmd =
   let doc = "Print the generated C code (structs, framework, functions)." in
   Cmd.v
     (Cmd.info "code" ~doc)
-    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ fn_arg)
+    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
+          $ fn_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage ambiguities                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let ambiguities_cmd =
-  let run proto verbose rewritten =
+  let run proto verbose rewritten jobs =
     setup_logs verbose;
-    let result = run_pipeline proto rewritten in
+    let result = run_pipeline ~jobs proto rewritten in
     let ambiguous = P.ambiguous_sentences result in
     let zero = P.zero_lf_sentences result in
     if ambiguous = [] && zero = [] then begin
@@ -297,7 +329,7 @@ let ambiguities_cmd =
   in
   Cmd.v
     (Cmd.info "ambiguities" ~doc)
-    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg)
+    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage interop                                                        *)
@@ -423,10 +455,14 @@ let corpus_cmd =
 (* ------------------------------------------------------------------ *)
 
 let report_cmd =
-  let run proto verbose rewritten =
+  let run proto verbose rewritten jobs cache_cap stats =
     setup_logs verbose;
-    let result = run_pipeline proto rewritten in
+    let result = run_pipeline ~jobs ?cache_cap proto rewritten in
     print_string (Sage.Report.markdown result);
+    if stats then begin
+      print_newline ();
+      print_string (Sage.Report.stats result)
+    end;
     0
   in
   let doc =
@@ -436,7 +472,8 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc)
-    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg)
+    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
+          $ cache_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* main                                                                *)

@@ -48,11 +48,14 @@ let rec free_vars = function
   | Lf _ -> []
   | Pred (_, args) -> List.concat_map free_vars args
 
-let fresh_counter = ref 0
+(* atomic: parses run concurrently across domains (lib/sched), and a
+   duplicated "fresh" name could silently capture a variable.  Fresh
+   numbering never reaches a logical form (lambda-bound names are gone
+   after beta reduction), so parallel runs stay deterministic. *)
+let fresh_counter = Atomic.make 0
 
 let fresh_name base =
-  incr fresh_counter;
-  Printf.sprintf "%s_%d" base !fresh_counter
+  Printf.sprintf "%s_%d" base (Atomic.fetch_and_add fresh_counter 1 + 1)
 
 let rec subst x v body =
   match body with

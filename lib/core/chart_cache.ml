@@ -1,0 +1,59 @@
+module Lru = Sage_sched.Lru
+module Metrics = Sage_sched.Metrics
+
+type t = Sage_ccg.Parser.result Lru.t
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) () = Lru.create ~capacity
+
+let kind_char = function
+  | Sage_nlp.Token.Word -> 'w'
+  | Sage_nlp.Token.Number -> 'n'
+  | Sage_nlp.Token.Symbol -> 's'
+  | Sage_nlp.Token.Punct -> 'p'
+  | Sage_nlp.Token.Terminator -> 't'
+
+(* \x1e separates chunks, \x1f separates tokens: neither occurs in RFC
+   text, so distinct chunkings cannot collide *)
+let key ~protocol chunks =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf protocol;
+  List.iter
+    (fun (c : Sage_nlp.Chunker.chunk) ->
+      Buffer.add_char buf '\x1e';
+      Buffer.add_char buf (if c.Sage_nlp.Chunker.is_np then 'N' else '-');
+      List.iter
+        (fun (tok : Sage_nlp.Token.t) ->
+          Buffer.add_char buf '\x1f';
+          Buffer.add_char buf (kind_char tok.Sage_nlp.Token.kind);
+          Buffer.add_string buf tok.Sage_nlp.Token.text)
+        c.Sage_nlp.Chunker.tokens)
+    chunks;
+  Buffer.contents buf
+
+let parse ?cache ?metrics ~protocol ~lexicon chunks =
+  let timed stage f =
+    match metrics with Some m -> Metrics.time m stage f | None -> f ()
+  in
+  let bump name = match metrics with Some m -> Metrics.incr m name | None -> () in
+  let do_parse () =
+    timed "parse" (fun () -> Sage_ccg.Parser.parse_chunks ~lexicon chunks)
+  in
+  match cache with
+  | None -> do_parse ()
+  | Some cache ->
+    let k = key ~protocol chunks in
+    (match timed "cache_hit" (fun () -> Lru.find cache k) with
+     | Some result ->
+       bump "cache_hits";
+       result
+     | None ->
+       bump "cache_misses";
+       let result = do_parse () in
+       Lru.add cache k result;
+       result)
+
+let hits = Lru.hits
+let misses = Lru.misses
+let stats = Lru.stats

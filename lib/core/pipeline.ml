@@ -117,7 +117,15 @@ type run = {
   document : Document.t;
   sentences : sentence_report list;
   codegen : codegen_report;
+  metrics : Sage_sched.Metrics.t;
 }
+
+(* stage-metric helpers over an optional metrics sink *)
+let timed metrics stage f =
+  match metrics with Some m -> Sage_sched.Metrics.time m stage f | None -> f ()
+
+let bump ?by metrics name =
+  match metrics with Some m -> Sage_sched.Metrics.incr ?by m name | None -> ()
 
 let prefix_matches sentence prefix =
   let norm s =
@@ -148,7 +156,9 @@ let drop_terminator chunks =
     List.rev rest
   | _ -> chunks
 
-let analyze_sentence spec ?message ?field ?struct_def ?strategy sentence =
+let analyze_sentence spec ?message ?field ?struct_def ?strategy ?cache ?metrics
+    sentence =
+  bump metrics "sentences";
   let annotated =
     List.exists (prefix_matches sentence) spec.annotated_non_actionable
   in
@@ -164,14 +174,29 @@ let analyze_sentence spec ?message ?field ?struct_def ?strategy sentence =
   else begin
     ignore struct_def;
     let parse chunks =
-      Sage_ccg.Parser.parse_chunks ~lexicon:spec.lexicon chunks
+      let r =
+        Chart_cache.parse ?cache ?metrics ~protocol:spec.protocol
+          ~lexicon:spec.lexicon chunks
+      in
+      bump ~by:(List.length r.Sage_ccg.Parser.items) metrics "chart_items";
+      bump ~by:(List.length r.Sage_ccg.Parser.lfs) metrics "base_lfs";
+      r
     in
     let chunks =
-      drop_terminator
-        (Chunker.chunk_sentence ?strategy ~dict:spec.dictionary sentence)
+      timed metrics "chunk" (fun () ->
+          drop_terminator
+            (Chunker.chunk_sentence ?strategy ~dict:spec.dictionary sentence))
     in
     let result = parse chunks in
-    let winnowed lfs = Winnow.winnow ~extra_checks:spec.extra_checks lfs in
+    let winnowed lfs =
+      let tr =
+        timed metrics "winnow" (fun () ->
+            Winnow.winnow ~extra_checks:spec.extra_checks lfs)
+      in
+      bump ~by:(tr.Winnow.base - List.length tr.Winnow.survivors) metrics
+        "winnow_killed";
+      tr
+    in
     let finish ~supplied base_count tr =
       match tr.Winnow.survivors with
       | [ lf ] ->
@@ -301,8 +326,124 @@ let fixed_assignments_for_variant (section : Document.section) variant_name =
         fd.Document.content)
     section.Document.fields
 
-let run spec ~title ~text =
-  let document = Document.parse ~title text in
+(* ------------------------------------------------------------------ *)
+(* run_document: the corpus pipeline in three phases.                  *)
+(*                                                                     *)
+(*   1. a cheap sequential prepass resolves each section's header      *)
+(*      diagram and flattens every prose sentence into an analysis     *)
+(*      job, in document order;                                        *)
+(*   2. the analysis phase — chunk, CCG-parse (through the shared      *)
+(*      chart cache) and winnow — is embarrassingly parallel across    *)
+(*      sentences and fans out over domains via Sage_sched.Pool,       *)
+(*      whose map returns reports in job order;                        *)
+(*   3. the codegen phase replays the sections sequentially in         *)
+(*      document order over those reports.                             *)
+(*                                                                     *)
+(* Because phase 2 preserves order and phases 1/3 are sequential, the  *)
+(* run is byte-identical for any jobs count (test/test_parallel.ml).   *)
+(* ------------------------------------------------------------------ *)
+
+type work =
+  | Prose_job of int            (* index into the analysis job array *)
+  | Pseudo_block of string
+
+type section_plan = {
+  plan_section : Document.section;
+  plan_struct_def : Hd.t option;
+  plan_msg : string;
+  plan_variants : (string * Ir.role) list;
+  plan_gen_role : Ir.role;
+  plan_works : work list;
+}
+
+type analysis_job = {
+  job_field : string option;
+  job_msg : string;
+  job_struct_def : Hd.t option;
+  job_sentence : string;
+}
+
+let run_document ?(jobs = 1) ?cache ?metrics spec ~title ~text =
+  let m = match metrics with Some m -> m | None -> Sage_sched.Metrics.create () in
+  let metrics = Some m in
+  let document =
+    timed metrics "doc_parse" (fun () -> Document.parse ~title text)
+  in
+  (* ---- phase 1: prepass ---- *)
+  let rev_jobs = ref [] and n_jobs = ref 0 in
+  let new_job job =
+    let i = !n_jobs in
+    incr n_jobs;
+    rev_jobs := job :: !rev_jobs;
+    Prose_job i
+  in
+  let last_diagram = ref None in
+  let plans =
+    List.map
+      (fun (section : Document.section) ->
+        (* sections without their own diagram (e.g. BFD §6.8.6) refer to
+           the most recent packet format in the document *)
+        let struct_def =
+          match section.Document.diagram with
+          | Some d ->
+            last_diagram := Some d;
+            Some d
+          | None -> !last_diagram
+        in
+        let msg = section.Document.message_name in
+        let variants = variants_of_section section in
+        let section_has_reply =
+          List.exists (fun (_, r) -> r = Ir.Receiver) variants
+        in
+        let works = ref [] in
+        let prose ?field sentence =
+          works :=
+            new_job
+              { job_field = field; job_msg = msg; job_struct_def = struct_def;
+                job_sentence = sentence }
+            :: !works
+        in
+        List.iter
+          (fun (fd : Document.field_desc) ->
+            List.iter
+              (function
+                | Document.Prose sentences ->
+                  List.iter (prose ~field:fd.Document.field_name) sentences
+                | Document.Pseudo block -> works := Pseudo_block block :: !works
+                | Document.Fixed_value _ | Document.Code_values _ -> ())
+              fd.Document.content)
+          (section.Document.fields @ section.Document.ip_fields);
+        List.iter (fun s -> prose s) section.Document.description;
+        {
+          plan_section = section;
+          plan_struct_def = struct_def;
+          plan_msg = msg;
+          plan_variants = variants;
+          plan_gen_role = (if section_has_reply then Ir.Receiver else Ir.Sender);
+          plan_works = List.rev !works;
+        })
+      document.Document.sections
+  in
+  let job_array = Array.of_list (List.rev !rev_jobs) in
+  (* ---- phase 2: sentence analysis (parallel) ---- *)
+  let reports =
+    Sage_sched.Pool.map ~jobs
+      (fun job ->
+        (* graceful degradation: a crash while analysing one sentence is
+           captured in that sentence's report instead of aborting the
+           whole document run *)
+        match
+          analyze_sentence spec ~message:job.job_msg ?field:job.job_field
+            ?struct_def:job.job_struct_def ?cache ?metrics job.job_sentence
+        with
+        | report -> report
+        | exception exn ->
+          { sentence = job.job_sentence; message = Some job.job_msg;
+            field = job.job_field; base_lf_count = 0; trace = None;
+            status = Crashed (Printexc.to_string exn) })
+      job_array
+  in
+  (* ---- phase 3: code generation (sequential, document order) ---- *)
   let all_reports = ref [] in
   let non_actionable = ref [] in
   let functions = ref [] in
@@ -310,64 +451,41 @@ let run spec ~title ~text =
   let structs =
     List.filter_map (fun s -> s.Document.diagram) document.Document.sections
   in
-  let last_diagram = ref None in
   List.iter
-    (fun (section : Document.section) ->
-      (* sections without their own diagram (e.g. BFD §6.8.6) refer to the
-         most recent packet format in the document *)
-      let struct_def =
-        match section.Document.diagram with
-        | Some d ->
-          last_diagram := Some d;
-          Some d
-        | None -> !last_diagram
-      in
-      let msg = section.Document.message_name in
-      let variants = variants_of_section section in
-      let section_has_reply =
-        List.exists (fun (_, r) -> r = Ir.Receiver) variants
-      in
-      let gen_role = if section_has_reply then Ir.Receiver else Ir.Sender in
+    (fun plan ->
+      let struct_def = plan.plan_struct_def in
+      let msg = plan.plan_msg in
       let items = ref [] in
-      let handle_sentence ?field sentence =
-        (* graceful degradation: a crash while analysing or generating
-           one sentence is captured in that sentence's report instead of
-           aborting the whole document run *)
-        let report =
-          match
-            analyze_sentence spec ~message:msg ?field
-              ?struct_def:(Option.map Fun.id struct_def) sentence
-          with
-          | report -> report
-          | exception exn ->
-            { sentence; message = Some msg; field; base_lf_count = 0;
-              trace = None; status = Crashed (Printexc.to_string exn) }
-        in
+      let handle_report i =
+        let report = reports.(i) in
+        let job = job_array.(i) in
         all_reports := report :: !all_reports;
         let ctx =
-          Context.dynamic ?field ~role:gen_role
+          Context.dynamic ?field:job.job_field ~role:plan.plan_gen_role
             ?struct_def:(Option.map Fun.id struct_def) ~protocol:spec.protocol
             ~message:msg ()
         in
         let placement =
           match report.status with
           | Parsed lf | Subject_supplied lf ->
-            (match Generate.gen_sentence ctx lf with
+            (match
+               timed metrics "codegen" (fun () -> Generate.gen_sentence ctx lf)
+             with
              | Ok pl -> Some pl
              | Error reason ->
                (* iterative discovery: code-generation failure → confirm
                   non-actionable, tag @AdvComment *)
-               non_actionable := (sentence, reason) :: !non_actionable;
+               non_actionable := (report.sentence, reason) :: !non_actionable;
                None
              | exception exn ->
                non_actionable :=
-                 (sentence, "crashed: " ^ Printexc.to_string exn)
+                 (report.sentence, "crashed: " ^ Printexc.to_string exn)
                  :: !non_actionable;
                None)
           | Annotated_non_actionable | Zero_lf | Ambiguous _ | Crashed _ ->
             None
         in
-        items := { Assemble.sentence; placement } :: !items
+        items := { Assemble.sentence = report.sentence; placement } :: !items
       in
       (* pseudo-code blocks become standalone procedures (paper §3) *)
       let handle_pseudo block =
@@ -385,7 +503,10 @@ let run spec ~title ~text =
           let stmts =
             List.concat_map
               (fun lf ->
-                match Generate.gen_sentence ctx lf with
+                match
+                  timed metrics "codegen" (fun () ->
+                      Generate.gen_sentence ctx lf)
+                with
                 | Ok pl -> pl.Generate.stmts
                 | Error reason ->
                   non_actionable := (Lf.to_string lf, reason) :: !non_actionable;
@@ -406,34 +527,29 @@ let run spec ~title ~text =
           in
           functions := !functions @ [ f ];
           (match struct_def with
-           | Some sd -> struct_of_function := (f.Ir.fn_name, sd) :: !struct_of_function
+           | Some sd ->
+             struct_of_function := (f.Ir.fn_name, sd) :: !struct_of_function
            | None -> ())
       in
       List.iter
-        (fun (fd : Document.field_desc) ->
-          List.iter
-            (function
-              | Document.Prose sentences ->
-                List.iter
-                  (handle_sentence ~field:fd.Document.field_name)
-                  sentences
-              | Document.Pseudo block -> handle_pseudo block
-              | Document.Fixed_value _ | Document.Code_values _ -> ())
-            fd.Document.content)
-        (section.Document.fields @ section.Document.ip_fields);
-      List.iter (fun s -> handle_sentence s) section.Document.description;
+        (function
+          | Prose_job i -> handle_report i
+          | Pseudo_block block -> handle_pseudo block)
+        plan.plan_works;
       let assembled =
-        Assemble.assemble ~protocol:spec.protocol
-          ~variants:
-            (List.map
-               (fun (vname, role) ->
-                 {
-                   Assemble.variant_message = vname;
-                   variant_role = role;
-                   fixed_assignments = fixed_assignments_for_variant section vname;
-                 })
-               variants)
-          ~items:(List.rev !items)
+        timed metrics "assemble" (fun () ->
+            Assemble.assemble ~protocol:spec.protocol
+              ~variants:
+                (List.map
+                   (fun (vname, role) ->
+                     {
+                       Assemble.variant_message = vname;
+                       variant_role = role;
+                       fixed_assignments =
+                         fixed_assignments_for_variant plan.plan_section vname;
+                     })
+                   plan.plan_variants)
+              ~items:(List.rev !items))
       in
       (match struct_def with
        | Some sd ->
@@ -443,11 +559,12 @@ let run spec ~title ~text =
            assembled
        | None -> ());
       functions := !functions @ assembled)
-    document.Document.sections;
+    plans;
   let functions = !functions in
   let c_code =
-    Sage_codegen.C_printer.render_program ~protocol:spec.protocol ~structs
-      ~funcs:functions
+    timed metrics "render" (fun () ->
+        Sage_codegen.C_printer.render_program ~protocol:spec.protocol ~structs
+          ~funcs:functions)
   in
   {
     spec;
@@ -461,7 +578,10 @@ let run spec ~title ~text =
         non_actionable = List.rev !non_actionable;
         c_code;
       };
+    metrics = m;
   }
+
+let run spec ~title ~text = run_document ~jobs:1 spec ~title ~text
 
 let ambiguous_sentences run =
   List.filter

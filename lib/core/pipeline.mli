@@ -70,6 +70,10 @@ type run = {
   document : Sage_rfc.Document.t;
   sentences : sentence_report list;
   codegen : codegen_report;
+  metrics : Sage_sched.Metrics.t;
+      (** stage wall times and counters collected during the run (always
+          populated; pass [?metrics] to {!run_document} to accumulate
+          several runs into one record) *)
 }
 
 val analyze_sentence :
@@ -78,13 +82,35 @@ val analyze_sentence :
   ?field:string ->
   ?struct_def:Sage_rfc.Header_diagram.t ->
   ?strategy:Sage_nlp.Chunker.strategy ->
+  ?cache:Chart_cache.t ->
+  ?metrics:Sage_sched.Metrics.t ->
   string ->
   sentence_report
 (** Parse and winnow one sentence (with subject-supply retry for field
-    descriptions). *)
+    descriptions).  [cache] memoizes the CCG chart on the post-chunking
+    token sequence; [metrics] accumulates stage times ("chunk", "parse",
+    "winnow") and counters. *)
 
 val run : spec -> title:string -> text:string -> run
-(** The full pipeline over an RFC document. *)
+(** The full pipeline over an RFC document, sequentially:
+    [run_document ~jobs:1]. *)
+
+val run_document :
+  ?jobs:int ->
+  ?cache:Chart_cache.t ->
+  ?metrics:Sage_sched.Metrics.t ->
+  spec ->
+  title:string ->
+  text:string ->
+  run
+(** The full pipeline with an explicit execution policy.  [jobs] (default
+    [1]) is the number of workers the sentence-analysis phase may use;
+    when OCaml 5 domains are unavailable the run silently degrades to
+    sequential.  The output is {e deterministic}: for a given input it is
+    byte-identical whatever [jobs] is and whether or not [cache] is warm
+    (timings in [metrics] of course vary).  [cache] may be shared across
+    runs and protocols; [metrics] defaults to a fresh record, returned in
+    the [run]. *)
 
 val ambiguous_sentences : run -> sentence_report list
 val zero_lf_sentences : run -> sentence_report list

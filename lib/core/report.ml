@@ -28,6 +28,22 @@ let summary run =
     (List.length run.Pipeline.codegen.Pipeline.non_actionable)
     (List.length run.Pipeline.codegen.Pipeline.functions)
 
+let stats run =
+  let m = run.Pipeline.metrics in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "# Stage metrics: %s\n\n"
+       run.Pipeline.document.Sage_rfc.Document.title);
+  Buffer.add_string buf (Sage_sched.Metrics.summary m);
+  let hits = Sage_sched.Metrics.counter m "cache_hits" in
+  let misses = Sage_sched.Metrics.counter m "cache_misses" in
+  if hits + misses > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "\nchart cache: %d hits / %d misses (%.1f%% hit rate)\n"
+         hits misses
+         (100.0 *. float_of_int hits /. float_of_int (hits + misses)));
+  Buffer.contents buf
+
 let rewrite_worklist run =
   let buf = Buffer.create 512 in
   let ambiguous = Pipeline.ambiguous_sentences run in

@@ -14,3 +14,9 @@ val markdown : Pipeline.run -> string
 val rewrite_worklist : Pipeline.run -> string
 (** Only the action items for the spec author (ambiguous + zero-LF
     sentences), empty string when the spec is clean. *)
+
+val stats : Pipeline.run -> string
+(** The run's stage metrics (wall time per stage, counters, chart-cache
+    hit rate).  Timing-dependent, so deliberately {e not} part of
+    {!markdown}: the markdown report stays byte-identical across
+    sequential, parallel and cache-warm runs. *)

@@ -1,0 +1,122 @@
+(* Classic hash table + intrusive doubly-linked recency list: O(1)
+   find/add/evict.  The list head is the most recently used entry. *)
+
+type 'v node = {
+  key : string;
+  mutable value : 'v;
+  mutable prev : 'v node option;  (* towards the head (more recent) *)
+  mutable next : 'v node option;  (* towards the tail (less recent) *)
+}
+
+type 'v t = {
+  cap : int;
+  table : (string, 'v node) Hashtbl.t;
+  mutable head : 'v node option;
+  mutable tail : 'v node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  lock : Sched_backend.mutex;
+}
+
+let create ~capacity =
+  let cap = max 1 capacity in
+  {
+    cap;
+    table = Hashtbl.create (min cap 1024);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    lock = Sched_backend.mutex ();
+  }
+
+let capacity t = t.cap
+let length t = Sched_backend.with_lock t.lock (fun () -> Hashtbl.length t.table)
+
+(* -- recency list (call under lock) -- *)
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> ());
+  t.head <- Some node;
+  if t.tail = None then t.tail <- Some node
+
+let touch t node =
+  match t.head with
+  | Some h when h == node -> ()
+  | _ ->
+    unlink t node;
+    push_front t node
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key;
+    t.evictions <- t.evictions + 1
+
+(* -- public ops -- *)
+
+let find t key =
+  Sched_backend.with_lock t.lock (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+        t.hits <- t.hits + 1;
+        touch t node;
+        Some node.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t key value =
+  Sched_backend.with_lock t.lock (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+        node.value <- value;
+        touch t node
+      | None ->
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key node;
+        push_front t node;
+        if Hashtbl.length t.table > t.cap then evict_lru t)
+
+let find_or_add t key f =
+  match find t key with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    add t key v;
+    v
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let clear t =
+  Sched_backend.with_lock t.lock (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None)
+
+let stats t =
+  let hits = t.hits and misses = t.misses in
+  let total = hits + misses in
+  let rate =
+    if total = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int total
+  in
+  Printf.sprintf "%d/%d entries, %d hits, %d misses (%.1f%% hit rate), %d evictions"
+    (length t) t.cap hits misses rate t.evictions

@@ -1,0 +1,42 @@
+(** A thread-safe, string-keyed LRU cache with hit/miss counters.
+
+    Backs the CCG chart memoization in the pipeline: capacity-bounded so
+    a long corpus cannot grow the cache without bound, and safe to share
+    across {!Pool} workers (all operations take an internal lock, which
+    is free on the sequential fallback).
+
+    Values must be treated as immutable by callers: a cached value may
+    be returned to any number of workers. *)
+
+type 'v t
+
+val create : capacity:int -> 'v t
+(** [capacity] is clamped to at least 1. *)
+
+val capacity : 'v t -> int
+val length : 'v t -> int
+
+val find : 'v t -> string -> 'v option
+(** Lookup; a hit refreshes the entry's recency and increments the hit
+    counter, a miss increments the miss counter. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Insert (or replace) as most-recently used, evicting the
+    least-recently-used entry when over capacity. *)
+
+val find_or_add : 'v t -> string -> (unit -> 'v) -> 'v
+(** [find_or_add t key f] returns the cached value, or computes [f ()]
+    and caches it.  [f] runs {e outside} the lock so concurrent workers
+    are not serialized on a miss; two workers missing the same key at
+    once may both compute it (last add wins — harmless for pure [f]). *)
+
+val hits : 'v t -> int
+val misses : 'v t -> int
+val evictions : 'v t -> int
+
+val clear : 'v t -> unit
+(** Drop all entries.  Counters are kept. *)
+
+val stats : 'v t -> string
+(** One-line human summary, e.g. ["42/100 entries, 310 hits, 58 misses
+    (84.2% hit rate), 0 evictions"]. *)

@@ -1,0 +1,257 @@
+(* A minimal property-based testing harness: seeded deterministic
+   generators plus greedy counterexample shrinking, packaged as Alcotest
+   cases.  Self-contained on purpose — no dependency beyond Alcotest —
+   so property suites run on any compiler the repo supports and the
+   fixed seed makes every CI run replay the same cases.
+
+   The PRNG is splitmix64: 64-bit state, one multiply-xorshift chain
+   per draw, independent of the stdlib Random module (whose sequence
+   changed across OCaml versions and is domain-local on OCaml 5). *)
+
+type rand = { mutable state : int64 }
+
+let rand_of_seed seed =
+  (* avoid the all-zero fixed point and decorrelate small seeds *)
+  { state = Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L }
+
+let next_int64 r =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int_below r n =
+  if n <= 0 then invalid_arg "Qcheck_lite.int_below";
+  Int64.to_int (Int64.rem (Int64.logand (next_int64 r) Int64.max_int) (Int64.of_int n))
+
+let gen_range r lo hi = lo + int_below r (hi - lo + 1)
+let gen_bool r = Int64.logand (next_int64 r) 1L = 1L
+
+let pick r xs = List.nth xs (int_below r (List.length xs))
+
+(* ------------------------------------------------------------------ *)
+(* Arbitraries: generator + shrinker + printer.                        *)
+(* ------------------------------------------------------------------ *)
+
+type 'a t = {
+  gen : rand -> 'a;
+  shrink : 'a -> 'a list;  (* strictly-simpler candidates, best first *)
+  print : 'a -> string;
+}
+
+let make ?(shrink = fun _ -> []) ~print gen = { gen; shrink; print }
+
+let dedup xs =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+(* -- ints -- *)
+
+let shrink_int_toward lo n =
+  if n = lo then []
+  else dedup (List.filter (fun c -> c <> n) [ lo; lo + ((n - lo) / 2); n - 1 ])
+
+let int_range lo hi =
+  if lo > hi then invalid_arg "Qcheck_lite.int_range";
+  {
+    gen = (fun r -> gen_range r lo hi);
+    shrink = (fun n -> List.filter (fun c -> c >= lo && c <= hi) (shrink_int_toward lo n));
+    print = string_of_int;
+  }
+
+let small_nat = int_range 0 100
+let byte_int = int_range 0 255
+
+let bool =
+  { gen = gen_bool; shrink = (fun b -> if b then [ false ] else []); print = string_of_bool }
+
+(* -- strings -- *)
+
+let lower_alpha r = Char.chr (gen_range r (Char.code 'a') (Char.code 'z'))
+let printable r = Char.chr (gen_range r 32 126)
+
+let shrink_string s =
+  let n = String.length s in
+  if n = 0 then []
+  else
+    dedup
+      (List.filter
+         (fun c -> c <> s)
+         ((if n >= 2 then [ String.sub s 0 (n / 2) ] else [])
+          @ [ String.sub s 0 (n - 1) ]
+          @ (if String.exists (fun c -> c <> 'a') s then [ String.make n 'a' ] else [])))
+
+let string_of ?(min_len = 0) ~max_len gen_char =
+  {
+    gen =
+      (fun r ->
+        let n = gen_range r min_len max_len in
+        String.init n (fun _ -> gen_char r));
+    shrink = (fun s -> List.filter (fun c -> String.length c >= min_len) (shrink_string s));
+    print = (fun s -> Printf.sprintf "%S" s);
+  }
+
+let string_arb = string_of ~max_len:24 printable
+
+(* -- bytes (packet material: shrinks toward shorter, then all-zero) -- *)
+
+let shrink_bytes b =
+  let n = Bytes.length b in
+  if n = 0 then []
+  else
+    dedup
+      (List.filter
+         (fun c -> c <> b)
+         ((if n >= 2 then [ Bytes.sub b 0 (n / 2) ] else [])
+          @ [ Bytes.sub b 0 (n - 1) ]
+          @ (if Bytes.exists (fun c -> c <> '\000') b then [ Bytes.make n '\000' ] else [])))
+
+let print_bytes b =
+  let buf = Buffer.create ((Bytes.length b * 3) + 16) in
+  Buffer.add_string buf (Printf.sprintf "%d bytes:" (Bytes.length b));
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf " %02x" (Char.code c))) b;
+  Buffer.contents buf
+
+let bytes_arb ?(min_len = 0) ~max_len () =
+  {
+    gen =
+      (fun r ->
+        let n = gen_range r min_len max_len in
+        Bytes.init n (fun _ -> Char.chr (int_below r 256)));
+    shrink = (fun b -> List.filter (fun c -> Bytes.length c >= min_len) (shrink_bytes b));
+    print = print_bytes;
+  }
+
+(* -- lists -- *)
+
+let rec remove_at i = function
+  | [] -> []
+  | _ :: rest when i = 0 -> rest
+  | x :: rest -> x :: remove_at (i - 1) rest
+
+let rec replace_at i v = function
+  | [] -> []
+  | _ :: rest when i = 0 -> v :: rest
+  | x :: rest -> x :: replace_at (i - 1) v rest
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let shrink_list shrink_elt l =
+  let n = List.length l in
+  if n = 0 then []
+  else
+    let halves = if n >= 2 then [ take (n / 2) l ] else [] in
+    let removals = List.mapi (fun i _ -> remove_at i l) l in
+    let pointwise =
+      List.concat (List.mapi (fun i x -> List.map (fun c -> replace_at i c l) (shrink_elt x)) l)
+    in
+    dedup (List.filter (fun c -> c <> l) (halves @ removals @ pointwise))
+
+let list_of ?(min_len = 0) ~max_len elt =
+  {
+    gen =
+      (fun r ->
+        let n = gen_range r min_len max_len in
+        List.init n (fun _ -> elt.gen r));
+    shrink =
+      (fun l -> List.filter (fun c -> List.length c >= min_len) (shrink_list elt.shrink l));
+    print = (fun l -> "[" ^ String.concat "; " (List.map elt.print l) ^ "]");
+  }
+
+(* -- combinators -- *)
+
+let pair a b =
+  {
+    gen = (fun r -> (a.gen r, b.gen r));
+    shrink =
+      (fun (x, y) ->
+        List.map (fun x' -> (x', y)) (a.shrink x)
+        @ List.map (fun y' -> (x, y')) (b.shrink y));
+    print = (fun (x, y) -> Printf.sprintf "(%s, %s)" (a.print x) (b.print y));
+  }
+
+let map ~print f a =
+  (* shrinking is lost across an arbitrary map; use for final assembly
+     (e.g. tuple-of-fields -> packet record), not for shrinkable cores *)
+  { gen = (fun r -> f (a.gen r)); shrink = (fun _ -> []); print }
+
+let oneof arbs =
+  match arbs with
+  | [] -> invalid_arg "Qcheck_lite.oneof"
+  | first :: _ ->
+    {
+      gen = (fun r -> (pick r arbs).gen r);
+      (* all components have the same type; offer every component's
+         shrinks (candidates that an arm could not have produced just
+         fail to simplify further, which is harmless) *)
+      shrink = (fun x -> dedup (List.concat_map (fun a -> a.shrink x) arbs));
+      print = first.print;
+    }
+
+(* -- token lists (chunker/parser fodder) -- *)
+
+let token_text_pool =
+  [ "the"; "checksum"; "is"; "zero"; "if"; "code"; "field"; "message";
+    "set"; "to"; "echo"; "reply"; "and"; "or"; "of"; "address"; "source" ]
+
+let token =
+  let gen r =
+    match int_below r 10 with
+    | 0 | 1 -> Sage_nlp.Token.v Sage_nlp.Token.Number (string_of_int (int_below r 256))
+    | 2 -> Sage_nlp.Token.v Sage_nlp.Token.Symbol (pick r [ "="; "+"; "/" ])
+    | 3 -> Sage_nlp.Token.v Sage_nlp.Token.Punct (pick r [ ","; ";"; ":" ])
+    | _ -> Sage_nlp.Token.v Sage_nlp.Token.Word (pick r token_text_pool)
+  in
+  make ~print:(fun t -> Printf.sprintf "%S" t.Sage_nlp.Token.text) gen
+
+let token_list = list_of ~max_len:12 token
+
+(* ------------------------------------------------------------------ *)
+(* Runner.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let default_seed = 0xBEEF
+
+let eval prop x =
+  match prop x with
+  | true -> None
+  | false -> Some "returned false"
+  | exception exn -> Some ("raised " ^ Printexc.to_string exn)
+
+let minimize arb prop x reason =
+  let budget = ref 1000 in
+  let rec go x reason steps =
+    if !budget <= 0 then (x, reason, steps)
+    else begin
+      decr budget;
+      let candidates = arb.shrink x in
+      match
+        List.find_map (fun c -> Option.map (fun r -> (c, r)) (eval prop c)) candidates
+      with
+      | Some (c, r) -> go c r (steps + 1)
+      | None -> (x, reason, steps)
+    end
+  in
+  go x reason 0
+
+let run_prop ?(count = 200) ?(seed = default_seed) name arb prop () =
+  let r = rand_of_seed seed in
+  for i = 1 to count do
+    let x = arb.gen r in
+    match eval prop x with
+    | None -> ()
+    | Some reason ->
+      let x', reason', steps = minimize arb prop x reason in
+      Alcotest.failf
+        "property %S falsified (case %d/%d, seed %d):@\n  %s@\n  %s%s" name i
+        count seed (arb.print x') reason'
+        (if steps > 0 then Printf.sprintf "\n  (%d shrink steps)" steps else "")
+  done
+
+let test ?count ?seed name arb prop =
+  Alcotest.test_case name `Quick (run_prop ?count ?seed name arb prop)

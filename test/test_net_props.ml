@@ -1,0 +1,257 @@
+(* Property tests for the lib/net codecs: random well-formed packets must
+   survive encode → decode exactly, and every decoder must return a typed
+   [Decode_error.t] — never raise — on arbitrary bytes. *)
+
+open Sage_net
+module Q = Qcheck_lite
+
+let ib = Q.int_below
+let u16 r = ib r 0x10000
+
+let gen_addr r = Addr.of_octets (ib r 256) (ib r 256) (ib r 256) (ib r 256)
+
+let gen_payload ?(max = 32) r = Bytes.init (ib r (max + 1)) (fun _ -> Char.chr (ib r 256))
+
+let gen_i32 r =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int (u16 r)) 16)
+    (Int32.of_int (u16 r))
+
+let gen_i64 r = Q.next_int64 r
+
+(* ------------------------------------------------------------------ *)
+(* IPv4                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ipv4_case =
+  Q.make
+    ~print:(fun (hdr, payload) ->
+      Format.asprintf "%a + %d payload bytes" Ipv4.pp hdr (Bytes.length payload))
+    (fun r ->
+      let payload = gen_payload ~max:64 r in
+      let hdr =
+        Ipv4.make ~tos:(ib r 256) ~identification:(u16 r) ~ttl:(1 + ib r 255)
+          ~protocol:(Q.pick r [ 1; 2; 6; 17 ])
+          ~src:(gen_addr r) ~dst:(gen_addr r)
+          ~payload_len:(Bytes.length payload) ()
+      in
+      (hdr, payload))
+
+let prop_ipv4_roundtrip (hdr, payload) =
+  match Ipv4.decode (Ipv4.encode hdr ~payload) with
+  | Error _ -> false
+  | Ok (hdr', payload') ->
+    (* [make] leaves the checksum zero; [encode] fills it on the wire *)
+    Ipv4.equal { hdr with Ipv4.header_checksum = hdr'.Ipv4.header_checksum } hdr'
+    && Bytes.equal payload payload'
+
+let prop_ipv4_checksum (hdr, payload) =
+  let wire = Ipv4.encode hdr ~payload in
+  Ipv4.checksum_ok wire
+  && (match Ipv4.decode_verified wire with Ok _ -> true | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* ICMP — every message class                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_icmp r =
+  let echo () =
+    { Icmp.echo_code = 0; identifier = u16 r; sequence = u16 r;
+      payload = gen_payload r }
+  in
+  let err code_max =
+    { Icmp.err_code = ib r (code_max + 1); original = gen_payload r }
+  in
+  let ts () =
+    { Icmp.ts_code = 0; ts_identifier = u16 r; ts_sequence = u16 r;
+      originate = gen_i32 r; receive = gen_i32 r; transmit = gen_i32 r }
+  in
+  let info () =
+    { Icmp.info_code = 0; info_identifier = u16 r; info_sequence = u16 r }
+  in
+  match ib r 11 with
+  | 0 -> Icmp.Echo (echo ())
+  | 1 -> Icmp.Echo_reply (echo ())
+  | 2 -> Icmp.Destination_unreachable (err 5)
+  | 3 -> Icmp.Source_quench (err 0)
+  | 4 ->
+    Icmp.Redirect
+      { Icmp.red_code = ib r 4; gateway = gen_addr r; red_original = gen_payload r }
+  | 5 -> Icmp.Time_exceeded (err 1)
+  | 6 ->
+    Icmp.Parameter_problem
+      { Icmp.pp_code = 0; pointer = ib r 256; pp_original = gen_payload r }
+  | 7 -> Icmp.Timestamp (ts ())
+  | 8 -> Icmp.Timestamp_reply (ts ())
+  | 9 -> Icmp.Information_request (info ())
+  | _ -> Icmp.Information_reply (info ())
+
+let icmp_arb = Q.make ~print:(Format.asprintf "%a" Icmp.pp) gen_icmp
+
+let prop_icmp_roundtrip msg =
+  let wire = Icmp.encode msg in
+  Icmp.checksum_ok wire
+  && (match Icmp.decode wire with Ok msg' -> Icmp.equal msg msg' | Error _ -> false)
+  && (match Icmp.decode_verified wire with Ok _ -> true | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* UDP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let udp_case =
+  Q.make
+    ~print:(fun (u, payload, src, dst) ->
+      Format.asprintf "%a + %d bytes %s -> %s" Udp.pp u (Bytes.length payload)
+        (Addr.to_string src) (Addr.to_string dst))
+    (fun r ->
+      let payload = gen_payload ~max:48 r in
+      let u =
+        Udp.make ~src_port:(u16 r) ~dst_port:(u16 r)
+          ~payload_len:(Bytes.length payload)
+      in
+      (u, payload, gen_addr r, gen_addr r))
+
+let udp_fields_equal (a : Udp.t) (b : Udp.t) =
+  a.Udp.src_port = b.Udp.src_port
+  && a.Udp.dst_port = b.Udp.dst_port
+  && a.Udp.length = b.Udp.length
+
+let prop_udp_roundtrip (u, payload, _src, _dst) =
+  match Udp.decode (Udp.encode u ~payload) with
+  | Error _ -> false
+  | Ok (u', payload') ->
+    udp_fields_equal u u' && u'.Udp.checksum = 0 && Bytes.equal payload payload'
+
+let prop_udp_pseudo_checksum (u, payload, src, dst) =
+  let wire = Udp.encode ~src ~dst u ~payload in
+  Udp.checksum_ok ~src ~dst wire
+  && (match Udp.decode_verified ~src ~dst wire with
+      | Ok (u', payload') -> udp_fields_equal u u' && Bytes.equal payload payload'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* NTP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ntp_arb =
+  Q.make ~print:(Format.asprintf "%a" Ntp.pp) (fun r ->
+      {
+        Ntp.leap_indicator = ib r 4;
+        status = ib r 64;
+        stratum = ib r 256;
+        poll = ib r 256 - 128;
+        precision = ib r 256 - 128;
+        sync_distance = gen_i32 r;
+        drift_rate = gen_i32 r;
+        reference_clock_id = gen_i32 r;
+        reference_timestamp = gen_i64 r;
+        originate_timestamp = gen_i64 r;
+        receive_timestamp = gen_i64 r;
+        transmit_timestamp = gen_i64 r;
+      })
+
+let prop_ntp_roundtrip pkt =
+  match Ntp.decode (Ntp.encode pkt) with
+  | Ok pkt' -> Ntp.equal pkt pkt'
+  | Error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* IGMP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let igmp_arb =
+  Q.make ~print:(Format.asprintf "%a" Igmp.pp) (fun r ->
+      if Q.gen_bool r then Igmp.query else Igmp.report (gen_addr r))
+
+let prop_igmp_roundtrip msg =
+  let wire = Igmp.encode msg in
+  Igmp.checksum_ok wire
+  && (match Igmp.decode wire with Ok msg' -> Igmp.equal msg msg' | Error _ -> false)
+  && (match Igmp.decode_verified wire with Ok _ -> true | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* BFD                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bfd_arb =
+  Q.make ~print:(Format.asprintf "%a" Bfd.pp_packet) (fun r ->
+      {
+        Bfd.version = 1;  (* the only version decode accepts *)
+        diag = ib r 32;
+        state = Q.pick r [ Bfd.AdminDown; Bfd.Down; Bfd.Init; Bfd.Up ];
+        poll = Q.gen_bool r;
+        final = Q.gen_bool r;
+        control_plane_independent = Q.gen_bool r;
+        authentication_present = Q.gen_bool r;
+        demand = Q.gen_bool r;
+        multipoint = false;  (* must be zero per RFC 5880 §6.8.6 *)
+        detect_mult = ib r 256;
+        my_discriminator = gen_i32 r;
+        your_discriminator = gen_i32 r;
+        desired_min_tx = gen_i32 r;
+        required_min_rx = gen_i32 r;
+        required_min_echo_rx = gen_i32 r;
+      })
+
+let prop_bfd_roundtrip pkt =
+  match Bfd.decode (Bfd.encode pkt) with
+  | Ok pkt' -> Bfd.equal_packet pkt pkt'
+  | Error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: decoders never raise on arbitrary bytes                       *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_src = Addr.of_octets 10 0 0 1
+let fuzz_dst = Addr.of_octets 10 0 0 2
+
+(* the harness treats an exception as a property failure, so plain calls
+   are the whole test: each decoder must return Ok/Error, never raise *)
+let prop_decoders_never_raise b =
+  ignore (Ipv4.decode b);
+  ignore (Ipv4.decode_verified b);
+  ignore (Icmp.decode b);
+  ignore (Icmp.decode_verified b);
+  ignore (Udp.decode b);
+  ignore (Udp.decode_verified ~src:fuzz_src ~dst:fuzz_dst b);
+  ignore (Ntp.decode b);
+  ignore (Igmp.decode b);
+  ignore (Igmp.decode_verified b);
+  ignore (Bfd.decode b);
+  true
+
+let random_bytes = Q.bytes_arb ~max_len:80 ()
+
+(* also fuzz near-valid wire images: a corrupted encode output exercises
+   the length-consistency branches that purely random bytes rarely hit *)
+let corrupted_icmp =
+  Q.make ~print:Q.print_bytes (fun r ->
+      let wire = Icmp.encode (gen_icmp r) in
+      if Bytes.length wire > 0 then begin
+        let i = ib r (Bytes.length wire) in
+        Bytes.set wire i (Char.chr (ib r 256))
+      end;
+      if Q.gen_bool r && Bytes.length wire > 1 then
+        Bytes.sub wire 0 (ib r (Bytes.length wire))
+      else wire)
+
+let prop_corrupted_icmp_never_raises b =
+  ignore (Icmp.decode b);
+  ignore (Icmp.decode_verified b);
+  true
+
+let suite =
+  [
+    Q.test "ipv4: decode (encode p) = Ok p" ipv4_case prop_ipv4_roundtrip;
+    Q.test "ipv4: wire checksum verifies" ipv4_case prop_ipv4_checksum;
+    Q.test "icmp: decode (encode m) = Ok m, all classes" icmp_arb prop_icmp_roundtrip;
+    Q.test "udp: decode (encode u) = Ok u" udp_case prop_udp_roundtrip;
+    Q.test "udp: pseudo-header checksum roundtrip" udp_case prop_udp_pseudo_checksum;
+    Q.test "ntp: decode (encode p) = Ok p" ntp_arb prop_ntp_roundtrip;
+    Q.test "igmp: decode (encode m) = Ok m" igmp_arb prop_igmp_roundtrip;
+    Q.test "bfd: decode (encode p) = Ok p" bfd_arb prop_bfd_roundtrip;
+    Q.test "fuzz: decoders never raise on random bytes" random_bytes
+      prop_decoders_never_raise;
+    Q.test "fuzz: icmp decoder survives corrupted wire images" corrupted_icmp
+      prop_corrupted_icmp_never_raises;
+  ]

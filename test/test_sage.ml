@@ -20,4 +20,7 @@ let () =
       ("pseudo-code", Test_pseudo_code.suite);
       ("misc", Test_misc.suite);
       ("checks-table", Test_checks_table.suite);
+      ("sem-props", Test_sem_props.suite);
+      ("net-props", Test_net_props.suite);
+      ("parallel", Test_parallel.suite);
     ]
