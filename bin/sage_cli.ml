@@ -6,6 +6,7 @@
      sage derivation <sentence>   show a CCG derivation tree (Appendix B)
      sage run                     run the full pipeline over a corpus
      sage code                    print the generated C translation unit
+     sage analyze                 static-analysis findings over generated code
      sage ambiguities             list sentences needing a human rewrite
      sage interop                 ping/traceroute against generated code
      sage corpus                  show the pre-processed document structure
@@ -80,6 +81,43 @@ let cache_arg =
      repeated token sequences across sections then parse once."
   in
   Arg.(value & opt (some int) None & info [ "cache" ] ~docv:"CAP" ~doc)
+
+(* --analyze[=strict]: run the static analyzer after the pipeline and
+   print its findings; strict additionally turns Error-severity findings
+   into a nonzero exit *)
+type analyze_mode = Analyze_off | Analyze | Analyze_strict
+
+let analyze_arg =
+  let mode_conv =
+    let parse = function
+      | "" | "plain" -> Ok Analyze
+      | "strict" -> Ok Analyze_strict
+      | other ->
+        Error (`Msg (Printf.sprintf "bad --analyze mode %S (use strict)" other))
+    in
+    let print ppf m =
+      Fmt.string ppf
+        (match m with
+         | Analyze_off -> "off" | Analyze -> "plain" | Analyze_strict -> "strict")
+    in
+    Arg.conv (parse, print)
+  in
+  let doc =
+    "Print the static-analysis findings over the generated code \
+     (definite-assignment/field coverage, dead code, width/overflow, \
+     checksum ordering).  With $(i,--analyze=strict), Error-severity \
+     findings make the exit status nonzero."
+  in
+  Arg.(value & opt ~vopt:Analyze mode_conv Analyze_off
+       & info [ "analyze" ] ~docv:"MODE" ~doc)
+
+let analysis_exit mode (result : P.run) =
+  match mode with
+  | Analyze_off -> 0
+  | Analyze | Analyze_strict ->
+    Sage_analysis.Analyzer.exit_code
+      ~strict:(mode = Analyze_strict)
+      result.P.diagnostics
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -208,7 +246,7 @@ let run_pipeline ?(jobs = 1) ?cache_cap proto rewritten =
   P.run_document ~jobs ?cache spec ~title ~text
 
 let run_cmd =
-  let run proto verbose rewritten jobs cache_cap stats =
+  let run proto verbose rewritten jobs cache_cap stats analyze =
     setup_logs verbose;
     let result = run_pipeline ~jobs ?cache_cap proto rewritten in
     Printf.printf "document  : %s\n" result.P.document.Sage_rfc.Document.title;
@@ -241,17 +279,21 @@ let run_cmd =
              else r.P.sentence))
         result.P.sentences
     end;
+    if analyze <> Analyze_off then begin
+      print_newline ();
+      print_string (Sage.Report.analysis result)
+    end;
     if stats then begin
       print_newline ();
       print_string (Sage.Report.stats result)
     end;
-    0
+    analysis_exit analyze result
   in
   let doc = "Run the full pipeline (parse, winnow, generate) over a corpus." in
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
-          $ cache_arg $ stats_arg)
+          $ cache_arg $ stats_arg $ analyze_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage code                                                           *)
@@ -282,6 +324,42 @@ let code_cmd =
     (Cmd.info "code" ~doc)
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
           $ fn_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sage analyze                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let strict_arg =
+    let doc = "Exit nonzero when any Error-severity finding exists." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: $(b,text) (default) or $(b,json)." in
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let run proto verbose rewritten jobs cache_cap strict format =
+    setup_logs verbose;
+    let result = run_pipeline ~jobs ?cache_cap proto rewritten in
+    (match format with
+     | `Text -> print_string (Sage.Report.analysis result)
+     | `Json -> print_endline (Sage.Report.analysis_json result));
+    Sage_analysis.Analyzer.exit_code ~strict result.P.diagnostics
+  in
+  let doc =
+    "Run the pipeline and report the static-analysis findings over the \
+     generated code: definite-assignment/field coverage against the \
+     recovered packet layout (the paper's under-specification failure \
+     mode), dead stores and unreachable code, constant-width/overflow \
+     checks and checksum ordering.  Findings carry stable SA0xx codes \
+     and, where recoverable, the specification sentence involved."
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
+          $ cache_arg $ strict_arg $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage ambiguities                                                    *)
@@ -455,7 +533,7 @@ let corpus_cmd =
 (* ------------------------------------------------------------------ *)
 
 let report_cmd =
-  let run proto verbose rewritten jobs cache_cap stats =
+  let run proto verbose rewritten jobs cache_cap stats analyze =
     setup_logs verbose;
     let result = run_pipeline ~jobs ?cache_cap proto rewritten in
     print_string (Sage.Report.markdown result);
@@ -463,17 +541,19 @@ let report_cmd =
       print_newline ();
       print_string (Sage.Report.stats result)
     end;
-    0
+    (* the markdown already carries the findings; --analyze here only
+       selects the strict-exit policy *)
+    analysis_exit analyze result
   in
   let doc =
     "Produce the markdown report a spec author reads in the feedback loop: \
-     summary, rewrite worklist, non-actionable sentences, generated \
-     functions and recovered layouts."
+     summary, rewrite worklist, non-actionable sentences, static-analysis \
+     findings, generated functions and recovered layouts."
   in
   Cmd.v
     (Cmd.info "report" ~doc)
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
-          $ cache_arg $ stats_arg)
+          $ cache_arg $ stats_arg $ analyze_arg)
 
 (* ------------------------------------------------------------------ *)
 (* main                                                                *)
@@ -487,8 +567,8 @@ let main_cmd =
   let info = Cmd.info "sage" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      parse_cmd; derivation_cmd; run_cmd; code_cmd; ambiguities_cmd;
-      interop_cmd; corpus_cmd; report_cmd;
+      parse_cmd; derivation_cmd; run_cmd; code_cmd; analyze_cmd;
+      ambiguities_cmd; interop_cmd; corpus_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

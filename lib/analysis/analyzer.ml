@@ -1,0 +1,40 @@
+module Ir = Sage_codegen.Ir
+module D = Diagnostic
+
+let checks =
+  [
+    ("def-assign", Def_assign.check);
+    ("dead-code", Dead_code.check);
+    ("overflow", Overflow.check);
+  ]
+
+(* The analyzer must never take a run down: a check that raises on some
+   exotic IR shape becomes an SA000 finding instead of an exception.
+   Warning severity, so an analyzer bug does not fail strict mode on an
+   otherwise-clean corpus — the finding text carries the exception. *)
+let run_check (name, check) (ctx : Dataflow.ctx) =
+  match check ctx with
+  | diags -> diags
+  | exception exn ->
+    [
+      D.v ~code:"SA000" ~severity:D.Warning
+        ~fn_name:ctx.Dataflow.func.Ir.fn_name
+        ~protocol:ctx.Dataflow.func.Ir.protocol
+        (Printf.sprintf "analyzer check %s failed: %s" name
+           (Printexc.to_string exn));
+    ]
+
+let analyze_func ?layout ?sentence_of_stmt func =
+  let ctx = Dataflow.ctx ?layout ?sentence_of_stmt func in
+  D.sort (List.concat_map (fun c -> run_check c ctx) checks)
+
+let analyze_program ?sentence_of_stmt ~struct_of_function funcs =
+  D.sort
+    (List.concat_map
+       (fun (f : Ir.func) ->
+         analyze_func
+           ?layout:(List.assoc_opt f.Ir.fn_name struct_of_function)
+           ?sentence_of_stmt f)
+       funcs)
+
+let exit_code ~strict diags = if strict && D.has_errors diags then 1 else 0

@@ -1,0 +1,27 @@
+(** The static-analysis pass over generated IR: runs every check
+    ({!Def_assign}, {!Dead_code}, {!Overflow}) and aggregates sorted
+    diagnostics.
+
+    The analyzer is total: a check that raises is converted into an
+    [SA000] warning carrying the exception, so analysis can run inside
+    the pipeline without jeopardising a document run. *)
+
+val analyze_func :
+  ?layout:Sage_rfc.Header_diagram.t ->
+  ?sentence_of_stmt:(Sage_codegen.Ir.stmt -> string option) ->
+  Sage_codegen.Ir.func ->
+  Diagnostic.t list
+(** Analyze one generated function against its packet layout (when
+    known) with optional per-sentence provenance. *)
+
+val analyze_program :
+  ?sentence_of_stmt:(Sage_codegen.Ir.stmt -> string option) ->
+  struct_of_function:(string * Sage_rfc.Header_diagram.t) list ->
+  Sage_codegen.Ir.func list ->
+  Diagnostic.t list
+(** Analyze every function of a run, resolving each function's layout
+    through [struct_of_function] (the pipeline's mapping). *)
+
+val exit_code : strict:bool -> Diagnostic.t list -> int
+(** [1] when strict mode must fail the process (an [Error]-severity
+    finding exists), [0] otherwise. *)

@@ -1,0 +1,106 @@
+module Ir = Sage_codegen.Ir
+module D = Diagnostic
+
+(* Dead stores and unreachable code (SA003/SA004). *)
+
+let actionable = function Ir.Comment _ -> false | _ -> true
+
+let check (ctx : Dataflow.ctx) =
+  let f = ctx.Dataflow.func in
+  let diag ?field ?sentence ~code ~severity text =
+    D.v ?field ?sentence ~code ~severity ~fn_name:f.Ir.fn_name
+      ~protocol:f.Ir.protocol text
+  in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (* ---- SA004: statements after Discard (unreachable) / Send
+     (ineffective style: serialization is deferred, but code after the
+     emit point obscures what went on the wire) ---- *)
+  let rec scan_terminators stmts =
+    List.iter
+      (function
+        | Ir.If (_, t, e) ->
+          scan_terminators t;
+          scan_terminators e
+        | _ -> ())
+      stmts;
+    let rec scan = function
+      | [] -> ()
+      | Ir.Discard :: rest ->
+        let dead = List.filter actionable rest in
+        if dead <> [] then
+          emit
+            (diag ~code:"SA004" ~severity:D.Error
+               ?sentence:(ctx.Dataflow.sentence_of_stmt (List.hd dead))
+               (Printf.sprintf
+                  "%d statement(s) after Discard can never execute"
+                  (List.length dead)))
+        (* deeper Ifs in [rest] were already visited above; stop here so
+           one Discard yields one finding *)
+      | Ir.Send msg :: rest ->
+        let late_writes =
+          List.filter
+            (function Ir.Assign (Ir.Lfield _, _) -> true | _ -> false)
+            rest
+        in
+        (match late_writes with
+         | [] -> ()
+         | w :: _ ->
+           emit
+             (diag ~code:"SA004" ~severity:D.Warning
+                ?sentence:(ctx.Dataflow.sentence_of_stmt w)
+                (Printf.sprintf
+                   "%d field write(s) after \"%s\" is sent"
+                   (List.length late_writes) msg)));
+        scan rest
+      | _ :: rest -> scan rest
+    in
+    scan stmts
+  in
+  scan_terminators f.Ir.body;
+  (* ---- SA003: a store overwritten before any possible read ----
+     Conservative straight-line scan: an assignment is dead only when
+     the very same lvalue is assigned again further down the same
+     statement list with no intervening branch, framework call, Send,
+     Discard or read of the lvalue (a call may read any field). *)
+  let rec scan_dead_stores stmts =
+    List.iter
+      (function
+        | Ir.If (_, t, e) ->
+          scan_dead_stores t;
+          scan_dead_stores e
+        | _ -> ())
+      stmts;
+    let rec scan = function
+      | [] -> ()
+      | (Ir.Assign (lv, _) as first) :: rest ->
+        let rec until_clobber = function
+          | [] -> ()
+          | Ir.Comment _ :: tl -> until_clobber tl
+          | Ir.Assign (lv', rhs') :: tl ->
+            let r = Dataflow.reads_of_expr rhs' in
+            if Dataflow.reads_lvalue r lv then () (* read first: live *)
+            else if lv' = lv then
+              emit
+                (diag
+                   ?field:
+                     (match lv with
+                      | Ir.Lfield (_, fd) -> Some fd
+                      | Ir.Lvar _ -> None)
+                   ?sentence:(ctx.Dataflow.sentence_of_stmt first)
+                   ~code:"SA003" ~severity:D.Warning
+                   (Printf.sprintf
+                      "%s is overwritten before any read (dead store)"
+                      (Fmt.str "%a" Ir.pp_lvalue lv)))
+            else until_clobber tl
+          | Ir.Do _ :: _ | Ir.If _ :: _ | Ir.Send _ :: _ | Ir.Discard :: _ ->
+            () (* barrier: the store may be read *)
+        in
+        until_clobber rest;
+        scan rest
+      | _ :: rest -> scan rest
+    in
+    scan stmts
+  in
+  scan_dead_stores f.Ir.body;
+  List.rev !diags

@@ -1,0 +1,11 @@
+(** Dead stores and unreachable code.
+
+    - [SA003] (warning): an assignment overwritten by a later assignment
+      to the same lvalue with no possible read in between (framework
+      calls, branches, [Send] and [Discard] are conservative barriers).
+    - [SA004]: actionable statements after a [Discard] in the same
+      statement list can never execute ([Error]); header-field writes
+      after a [Send] still reach the wire (serialization is deferred)
+      but obscure the emit point ([Warning]). *)
+
+val check : Dataflow.ctx -> Diagnostic.t list

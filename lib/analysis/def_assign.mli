@@ -1,0 +1,13 @@
+(** Definite assignment and field coverage.
+
+    - [SA001]: a fixed-width field of the function's packet layout is
+      never (or only conditionally) written by a function that does
+      build the header — the paper's under-specification failure mode.
+      Severity is [Error] for a never-assigned checksum field (the
+      packet would be dropped by any conforming receiver), [Warning]
+      otherwise; an unparsed sentence mentioning the field is attached
+      as provenance.
+    - [SA002]: a local variable is read on a path before any
+      assignment to it. *)
+
+val check : Dataflow.ctx -> Diagnostic.t list

@@ -1,0 +1,141 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  fn_name : string;
+  protocol : string;
+  text : string;
+  field : string option;
+  sentence : string option;
+}
+
+let v ?field ?sentence ~code ~severity ~fn_name ~protocol text =
+  { code; severity; fn_name; protocol; text; field; sentence }
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let catalog =
+  [
+    ("SA000", "the analyzer itself failed on this function (internal)");
+    ("SA001", "header field not definitely assigned (field coverage)");
+    ("SA002", "local variable read before any assignment");
+    ("SA003", "assignment overwritten before any read (dead store)");
+    ("SA004", "statement unreachable or ineffective after Discard/Send");
+    ("SA005", "constant exceeds the field's bit width");
+    ("SA006", "header field written after the checksum assignment");
+  ]
+
+let describe_code code = List.assoc_opt code catalog
+
+let compare_diag a b =
+  let c = compare a.fn_name b.fn_name in
+  if c <> 0 then c
+  else
+    let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c
+    else
+      let c = compare a.code b.code in
+      if c <> 0 then c
+      else
+        let c = compare a.field b.field in
+        if c <> 0 then c else compare a.text b.text
+
+let sort diags = List.stable_sort compare_diag diags
+
+let count sev diags = List.length (List.filter (fun d -> d.severity = sev) diags)
+let errors diags = count Error diags
+let warnings diags = count Warning diags
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+(* ---- text renderer ---- *)
+
+let to_string d =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-7s %s %s: %s" (severity_name d.severity) d.code
+       d.fn_name d.text);
+  (match d.field with
+   | Some f -> Buffer.add_string buf (Printf.sprintf " [field: %s]" f)
+   | None -> ());
+  (match d.sentence with
+   | Some s -> Buffer.add_string buf (Printf.sprintf "\n        spec: %S" s)
+   | None -> ());
+  Buffer.contents buf
+
+let render_text ?(protocol = "") diags =
+  let diags = sort diags in
+  let buf = Buffer.create 1024 in
+  let label = if protocol = "" then "" else protocol ^ ": " in
+  if diags = [] then
+    Buffer.add_string buf
+      (Printf.sprintf "%sstatic analysis: no findings\n" label)
+  else begin
+    List.iter
+      (fun d ->
+        Buffer.add_string buf (to_string d);
+        Buffer.add_char buf '\n')
+      diags;
+    Buffer.add_string buf
+      (Printf.sprintf "%sstatic analysis: %d error(s), %d warning(s), %d info\n"
+         label (errors diags) (warnings diags) (count Info diags))
+  end;
+  Buffer.contents buf
+
+(* ---- JSON renderer (self-contained; stable field order) ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let to_json d =
+  let fields =
+    [
+      ("code", json_str d.code);
+      ("severity", json_str (severity_name d.severity));
+      ("function", json_str d.fn_name);
+      ("protocol", json_str d.protocol);
+      ("message", json_str d.text);
+    ]
+    @ (match d.field with Some f -> [ ("field", json_str f) ] | None -> [])
+    @ (match d.sentence with
+       | Some s -> [ ("sentence", json_str s) ]
+       | None -> [])
+  in
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) fields)
+  ^ "}"
+
+let render_json ?(protocol = "") diags =
+  let diags = sort diags in
+  let body =
+    match diags with
+    | [] -> "[]"
+    | _ ->
+      "[\n"
+      ^ String.concat ",\n" (List.map (fun d -> "    " ^ to_json d) diags)
+      ^ "\n  ]"
+  in
+  Printf.sprintf
+    "{\n  \"protocol\": %s,\n  \"errors\": %d,\n  \"warnings\": %d,\n  \
+     \"infos\": %d,\n  \"diagnostics\": %s\n}\n"
+    (json_str protocol) (errors diags) (warnings diags) (count Info diags)
+    body

@@ -50,9 +50,18 @@ let rec pp_expr ppf = function
       | "eq" -> "==" | "ne" -> "!=" | "gt" -> ">" | "ge" -> ">="
       | "lt" -> "<" | "le" -> "<=" | other -> other
     in
-    Fmt.pf ppf "%a %s %a" pp_expr a sym pp_expr b
+    Fmt.pf ppf "%a %s %a" pp_cmp_operand a sym pp_cmp_operand b
   | And (a, b) -> Fmt.pf ppf "(%a && %a)" pp_expr a pp_expr b
   | Or (a, b) -> Fmt.pf ppf "(%a || %a)" pp_expr a pp_expr b
+
+(* A comparison nested inside a comparison must keep its own parentheses:
+   C's left-associative relational chain would regroup [a == (b == c)]
+   printed bare as [(a == b) == c].  [And]/[Or]/[Not] always print their
+   own parentheses, so only [Cmp] operands need the guard. *)
+and pp_cmp_operand ppf e =
+  match e with
+  | Cmp _ -> Fmt.pf ppf "(%a)" pp_expr e
+  | _ -> pp_expr ppf e
 
 let pp_lvalue ppf = function
   | Lfield (l, f) -> Fmt.pf ppf "%s->%s" (layer_prefix l) f
@@ -106,13 +115,22 @@ let rec equal_stmt a b =
   | Comment c1, Comment c2 -> String.equal c1 c2
   | _ -> false
 
+let rec fold_stmts f acc stmts = List.fold_left (fold_stmt f) acc stmts
+
+and fold_stmt f acc s =
+  let acc = f acc s in
+  match s with
+  | If (_, then_, else_) -> fold_stmts f (fold_stmts f acc then_) else_
+  | Assign _ | Do _ | Discard | Send _ | Comment _ -> acc
+
+let iter_stmts f stmts = fold_stmts (fun () s -> f s) () stmts
+
 let assigned_fields stmts =
-  let seen = ref [] in
-  let add l f = if not (List.mem (l, f) !seen) then seen := (l, f) :: !seen in
-  let rec go = function
-    | Assign (Lfield (l, f), _) -> add l f
-    | Assign (Lvar _, _) | Do _ | Discard | Send _ | Comment _ -> ()
-    | If (_, t, e) -> List.iter go t; List.iter go e
-  in
-  List.iter go stmts;
-  List.rev !seen
+  List.rev
+    (fold_stmts
+       (fun seen s ->
+         match s with
+         | Assign (Lfield (l, f), _) when not (List.mem (l, f) seen) ->
+           (l, f) :: seen
+         | _ -> seen)
+       [] stmts)

@@ -59,12 +59,22 @@ type func = {
 val role_name : role -> string
 
 val pp_expr : Format.formatter -> expr -> unit
+val pp_lvalue : Format.formatter -> lvalue -> unit
 val pp_stmt : Format.formatter -> stmt -> unit
 val pp_func : Format.formatter -> func -> unit
 
 val equal_expr : expr -> expr -> bool
 val equal_stmt : stmt -> stmt -> bool
 
+val fold_stmts : ('a -> stmt -> 'a) -> 'a -> stmt list -> 'a
+(** Pre-order fold over every statement, recursing into both branches of
+    each [If] (a statement is visited before its branch bodies).  The
+    single traversal shared by the assembler and the static analyzer. *)
+
+val iter_stmts : (stmt -> unit) -> stmt list -> unit
+(** [fold_stmts] specialised to side effects. *)
+
 val assigned_fields : stmt list -> (layer * string) list
-(** All header fields written by the statements, in order, duplicates
-    removed (used by the assembler's ordering pass and by tests). *)
+(** All header fields written by the statements — including inside [If]
+    branches — in first-write order, duplicates removed (used by the
+    assembler's ordering pass, the static analyzer and tests). *)

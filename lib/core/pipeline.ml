@@ -117,6 +117,7 @@ type run = {
   document : Document.t;
   sentences : sentence_report list;
   codegen : codegen_report;
+  diagnostics : Sage_analysis.Diagnostic.t list;
   metrics : Sage_sched.Metrics.t;
 }
 
@@ -327,7 +328,7 @@ let fixed_assignments_for_variant (section : Document.section) variant_name =
     section.Document.fields
 
 (* ------------------------------------------------------------------ *)
-(* run_document: the corpus pipeline in three phases.                  *)
+(* run_document: the corpus pipeline in four phases.                   *)
 (*                                                                     *)
 (*   1. a cheap sequential prepass resolves each section's header      *)
 (*      diagram and flattens every prose sentence into an analysis     *)
@@ -337,10 +338,14 @@ let fixed_assignments_for_variant (section : Document.section) variant_name =
 (*      sentences and fans out over domains via Sage_sched.Pool,       *)
 (*      whose map returns reports in job order;                        *)
 (*   3. the codegen phase replays the sections sequentially in         *)
-(*      document order over those reports.                             *)
+(*      document order over those reports;                             *)
+(*   4. the static-analysis phase runs Sage_analysis over the          *)
+(*      generated functions, resolving each finding back to the spec   *)
+(*      sentence whose placement produced the statement.               *)
 (*                                                                     *)
-(* Because phase 2 preserves order and phases 1/3 are sequential, the  *)
-(* run is byte-identical for any jobs count (test/test_parallel.ml).   *)
+(* Because phase 2 preserves order, phases 1/3 are sequential and      *)
+(* phase 4 sorts its findings, the run is byte-identical for any jobs  *)
+(* count (test/test_parallel.ml).                                      *)
 (* ------------------------------------------------------------------ *)
 
 type work =
@@ -448,6 +453,9 @@ let run_document ?(jobs = 1) ?cache ?metrics spec ~title ~text =
   let non_actionable = ref [] in
   let functions = ref [] in
   let struct_of_function = ref [] in
+  (* statement → source sentence, for diagnostic provenance (phase 4);
+     structural comparison, first placement wins *)
+  let provenance = ref [] in
   let structs =
     List.filter_map (fun s -> s.Document.diagram) document.Document.sections
   in
@@ -471,7 +479,11 @@ let run_document ?(jobs = 1) ?cache ?metrics spec ~title ~text =
             (match
                timed metrics "codegen" (fun () -> Generate.gen_sentence ctx lf)
              with
-             | Ok pl -> Some pl
+             | Ok pl ->
+               List.iter
+                 (fun s -> provenance := (s, report.sentence) :: !provenance)
+                 pl.Generate.stmts;
+               Some pl
              | Error reason ->
                (* iterative discovery: code-generation failure → confirm
                   non-actionable, tag @AdvComment *)
@@ -561,11 +573,30 @@ let run_document ?(jobs = 1) ?cache ?metrics spec ~title ~text =
       functions := !functions @ assembled)
     plans;
   let functions = !functions in
+  let struct_of_function = List.rev !struct_of_function in
   let c_code =
     timed metrics "render" (fun () ->
         Sage_codegen.C_printer.render_program ~protocol:spec.protocol ~structs
           ~funcs:functions)
   in
+  (* ---- phase 4: static analysis over the generated IR ---- *)
+  let provenance = List.rev !provenance in
+  let sentence_of_stmt s =
+    match s with
+    | Ir.Comment c -> Some c
+    | _ ->
+      Option.map snd (List.find_opt (fun (s', _) -> s' = s) provenance)
+  in
+  let diagnostics =
+    timed metrics "analysis" (fun () ->
+        Sage_analysis.Analyzer.analyze_program ~sentence_of_stmt
+          ~struct_of_function functions)
+  in
+  bump ~by:(List.length diagnostics) metrics "diagnostics";
+  bump ~by:(Sage_analysis.Diagnostic.errors diagnostics) metrics "diag_errors";
+  bump
+    ~by:(Sage_analysis.Diagnostic.warnings diagnostics)
+    metrics "diag_warnings";
   {
     spec;
     document;
@@ -574,10 +605,11 @@ let run_document ?(jobs = 1) ?cache ?metrics spec ~title ~text =
       {
         functions;
         structs;
-        struct_of_function = List.rev !struct_of_function;
+        struct_of_function;
         non_actionable = List.rev !non_actionable;
         c_code;
       };
+    diagnostics;
     metrics = m;
   }
 

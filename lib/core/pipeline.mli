@@ -70,6 +70,11 @@ type run = {
   document : Sage_rfc.Document.t;
   sentences : sentence_report list;
   codegen : codegen_report;
+  diagnostics : Sage_analysis.Diagnostic.t list;
+      (** sorted findings of the static-analysis pass over the generated
+          functions (field coverage, dead code, width/overflow), with
+          per-sentence provenance where a finding traces back to a
+          specific specification sentence *)
   metrics : Sage_sched.Metrics.t;
       (** stage wall times and counters collected during the run (always
           populated; pass [?metrics] to {!run_document} to accumulate

@@ -73,6 +73,16 @@ let rewrite_worklist run =
   end;
   Buffer.contents buf
 
+let analysis run =
+  let d = run.Pipeline.diagnostics in
+  Sage_analysis.Diagnostic.render_text
+    ~protocol:run.Pipeline.spec.Pipeline.protocol d
+
+let analysis_json run =
+  let d = run.Pipeline.diagnostics in
+  Sage_analysis.Diagnostic.render_json
+    ~protocol:run.Pipeline.spec.Pipeline.protocol d
+
 let markdown run =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
@@ -91,6 +101,10 @@ let markdown run =
       discovered;
     Buffer.add_char buf '\n'
   end;
+  Buffer.add_string buf "## Static analysis\n\n";
+  Buffer.add_string buf "```\n";
+  Buffer.add_string buf (analysis run);
+  Buffer.add_string buf "```\n\n";
   Buffer.add_string buf "## Generated functions\n\n";
   List.iter
     (fun (f : Ir.func) ->

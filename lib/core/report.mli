@@ -8,8 +8,17 @@ val summary : Pipeline.run -> string
 
 val markdown : Pipeline.run -> string
 (** The full report: summary, the rewrite worklist with surviving LFs,
-    zero-LF sentences, discovered non-actionable sentences, generated
-    functions with statement counts, and recovered header layouts. *)
+    zero-LF sentences, discovered non-actionable sentences, static
+    analysis findings, generated functions with statement counts, and
+    recovered header layouts. *)
+
+val analysis : Pipeline.run -> string
+(** The static-analysis findings of the run, rendered as text (findings
+    plus a severity summary line). *)
+
+val analysis_json : Pipeline.run -> string
+(** The same findings as a stable JSON object — the artifact the CI
+    static-analysis job records per corpus. *)
 
 val rewrite_worklist : Pipeline.run -> string
 (** Only the action items for the spec author (ambiguous + zero-LF

@@ -382,6 +382,40 @@ let test_c_program () =
   check Alcotest.bool "has framework decls" true
     (Astring_contains.contains program "extern uint16_t ones_complement_sum")
 
+let test_nested_condition_parens () =
+  (* C's relational operators associate left: a bare [a == b == c] means
+     [(a == b) == c], so a comparison nested as a comparison operand
+     must keep its own parentheses all the way through the C printer *)
+  let inner = Ir.Cmp ("eq", Ir.Field (Ir.Proto, "code"), Ir.Int 0) in
+  check Alcotest.string "cmp-in-cmp"
+    "hdr->type == (hdr->code == 0)"
+    (Fmt.str "%a" Ir.pp_expr
+       (Ir.Cmp ("eq", Ir.Field (Ir.Proto, "type"), inner)));
+  check Alcotest.string "cmp-in-cmp, flipped"
+    "(hdr->code == 0) != 1"
+    (Fmt.str "%a" Ir.pp_expr (Ir.Cmp ("ne", inner, Ir.Int 1)));
+  (* deeply nested And/Or/Not/Cmp keeps every grouping explicit *)
+  let cond =
+    Ir.And
+      (Ir.Or (Ir.Not inner, Ir.Cmp ("ge", Ir.Int 1, inner)),
+       Ir.Cmp ("eq", inner, inner))
+  in
+  check Alcotest.string "deep condition"
+    "((!(hdr->code == 0) || 1 >= (hdr->code == 0)) && (hdr->code == 0) == \
+     (hdr->code == 0))"
+    (Fmt.str "%a" Ir.pp_expr cond);
+  (* and the rendered C function carries the same text *)
+  let f =
+    {
+      Ir.fn_name = "icmp_cond"; protocol = "ICMP"; message = "echo message";
+      role = Ir.Sender;
+      body = [ Ir.If (cond, [ Ir.Discard ], []) ];
+    }
+  in
+  check Alcotest.bool "render_func keeps parens" true
+    (Astring_contains.contains (C.render_func f)
+       "(!(hdr->code == 0) || 1 >= (hdr->code == 0))")
+
 let suite =
   [
     tc "resolve struct fields" test_resolve_struct_field;
@@ -417,4 +451,6 @@ let suite =
     tc "function naming" test_function_names;
     tc "message matching" test_message_matches;
     tc "C program rendering" test_c_program;
+    tc "C conditions: nested comparisons parenthesized"
+      test_nested_condition_parens;
   ]

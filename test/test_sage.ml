@@ -10,6 +10,7 @@ let () =
       ("net", Test_net.suite);
       ("rfc", Test_rfc.suite);
       ("codegen", Test_codegen.suite);
+      ("analysis", Test_analysis.suite);
       ("interp", Test_interp.suite);
       ("sim", Test_sim.suite);
       ("faults", Test_faults.suite);
