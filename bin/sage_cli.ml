@@ -82,6 +82,62 @@ let cache_arg =
   in
   Arg.(value & opt (some int) None & info [ "cache" ] ~docv:"CAP" ~doc)
 
+(* --trace[=FILE]: record a structured event trace.  The trace is
+   buffered in memory and written only after the run, so stdout stays
+   byte-identical to an untraced run; the summary goes to stderr. *)
+let trace_arg =
+  let doc =
+    "Record a structured event trace of the run and write it to $(i,FILE) \
+     ($(b,sage-trace.json) / $(b,sage-trace.txt) when no file is given).  \
+     The JSON output is the Chrome-trace format, loadable in \
+     chrome://tracing or Perfetto.  Stdout output is unchanged."
+  in
+  Arg.(value
+       & opt ~vopt:(Some "") (some string) None
+       & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc = "Trace output format: $(b,json) (Chrome-trace) or $(b,text)." in
+  Arg.(value
+       & opt
+           (enum
+              [ ("json", Sage_trace.Trace.Json); ("text", Sage_trace.Trace.Text) ])
+           Sage_trace.Trace.Json
+       & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+let trace_clock_arg =
+  let doc =
+    "Trace timestamp source: $(b,wall) (nanosecond wall clock, for \
+     profiling) or $(b,logical) (a deterministic sequence counter — with \
+     $(b,--jobs 1) the trace file is then byte-identical across runs)."
+  in
+  Arg.(value
+       & opt
+           (enum
+              [ ("wall", Sage_trace.Trace.Wall);
+                ("logical", Sage_trace.Trace.Logical) ])
+           Sage_trace.Trace.Wall
+       & info [ "trace-clock" ] ~docv:"CLOCK" ~doc)
+
+let with_trace ?(clock = Sage_trace.Trace.Wall) trace_file trace_format f =
+  match trace_file with
+  | None -> f None
+  | Some file ->
+    let tracer = Sage_trace.Trace.create ~clock () in
+    let result = f (Some tracer) in
+    let file =
+      if file <> "" then file
+      else
+        match trace_format with
+        | Sage_trace.Trace.Json -> "sage-trace.json"
+        | Sage_trace.Trace.Text -> "sage-trace.txt"
+    in
+    let oc = open_out file in
+    output_string oc (Sage_trace.Trace.render trace_format tracer);
+    close_out oc;
+    Printf.eprintf "trace: %s -> %s\n%!" (Sage_trace.Trace.summary tracer) file;
+    result
+
 (* --analyze[=strict]: run the static analyzer after the pipeline and
    print its findings; strict additionally turns Error-severity findings
    into a nonzero exit *)
@@ -236,19 +292,21 @@ let derivation_cmd =
 (* sage run                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run_pipeline ?(jobs = 1) ?cache_cap proto rewritten =
+let run_pipeline ?(jobs = 1) ?cache_cap ?trace proto rewritten =
   let spec = spec_of proto in
   let title, text = corpus_of proto rewritten in
   let jobs = if jobs <= 0 then Sage_sched.Pool.default_jobs () else jobs in
   let cache =
     Option.map (fun capacity -> Sage.Chart_cache.create ~capacity ()) cache_cap
   in
-  P.run_document ~jobs ?cache spec ~title ~text
+  P.run_document ~jobs ?cache ?trace spec ~title ~text
 
 let run_cmd =
-  let run proto verbose rewritten jobs cache_cap stats analyze =
+  let run proto verbose rewritten jobs cache_cap stats analyze trace_file
+      trace_format trace_clock =
     setup_logs verbose;
-    let result = run_pipeline ~jobs ?cache_cap proto rewritten in
+    with_trace ~clock:trace_clock trace_file trace_format @@ fun trace ->
+    let result = run_pipeline ~jobs ?cache_cap ?trace proto rewritten in
     Printf.printf "document  : %s\n" result.P.document.Sage_rfc.Document.title;
     Printf.printf "sections  : %d\n"
       (List.length result.P.document.Sage_rfc.Document.sections);
@@ -293,7 +351,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
-          $ cache_arg $ stats_arg $ analyze_arg)
+          $ cache_arg $ stats_arg $ analyze_arg $ trace_arg $ trace_format_arg
+          $ trace_clock_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage code                                                           *)
@@ -414,7 +473,8 @@ let ambiguities_cmd =
 (* ------------------------------------------------------------------ *)
 
 let interop_cmd =
-  let run verbose rewritten fault_seed fault_plan =
+  let run verbose rewritten fault_seed fault_plan trace_file trace_format
+      trace_clock =
     setup_logs verbose;
     let faults =
       match fault_plan with
@@ -428,10 +488,11 @@ let interop_cmd =
           exit 2)
     in
     let under_faults = Option.is_some faults in
-    let result = run_pipeline Icmp rewritten in
-    let stack = Sage_sim.Generated_stack.of_run result in
+    with_trace ~clock:trace_clock trace_file trace_format @@ fun trace ->
+    let result = run_pipeline ?trace Icmp rewritten in
+    let stack = Sage_sim.Generated_stack.of_run ?trace result in
     let service = Sage_sim.Icmp_service.generated stack in
-    let net = Sage_sim.Network.default_topology ~service ?faults () in
+    let net = Sage_sim.Network.default_topology ~service ?faults ?trace () in
     let target = Sage_sim.Network.server1_addr net in
     let ping_res = Sage_sim.Ping.ping ~net target in
     Printf.printf "ping %s: %s (%d/%d replies)\n"
@@ -502,7 +563,7 @@ let interop_cmd =
   in
   Cmd.v (Cmd.info "interop" ~doc)
     Term.(const run $ verbose_arg $ rewritten_arg $ fault_seed_arg
-          $ fault_plan_arg)
+          $ fault_plan_arg $ trace_arg $ trace_format_arg $ trace_clock_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage corpus                                                         *)
@@ -533,9 +594,11 @@ let corpus_cmd =
 (* ------------------------------------------------------------------ *)
 
 let report_cmd =
-  let run proto verbose rewritten jobs cache_cap stats analyze =
+  let run proto verbose rewritten jobs cache_cap stats analyze trace_file
+      trace_format trace_clock =
     setup_logs verbose;
-    let result = run_pipeline ~jobs ?cache_cap proto rewritten in
+    with_trace ~clock:trace_clock trace_file trace_format @@ fun trace ->
+    let result = run_pipeline ~jobs ?cache_cap ?trace proto rewritten in
     print_string (Sage.Report.markdown result);
     if stats then begin
       print_newline ();
@@ -553,7 +616,8 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc)
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
-          $ cache_arg $ stats_arg $ analyze_arg)
+          $ cache_arg $ stats_arg $ analyze_arg $ trace_arg $ trace_format_arg
+          $ trace_clock_arg)
 
 (* ------------------------------------------------------------------ *)
 (* main                                                                *)

@@ -30,6 +30,7 @@ val key : protocol:string -> Sage_nlp.Chunker.chunk list -> string
 val parse :
   ?cache:t ->
   ?metrics:Sage_sched.Metrics.t ->
+  ?trace:Sage_trace.Trace.t ->
   protocol:string ->
   lexicon:Sage_ccg.Lexicon.t ->
   Sage_nlp.Chunker.chunk list ->
@@ -37,7 +38,9 @@ val parse :
 (** [parse_chunks] through the cache.  Without [cache] it just parses.
     With [metrics], the parse is timed under stage ["parse"] (cache
     hits under ["cache_hit"]) and the ["cache_hits"] / ["cache_misses"]
-    counters are bumped. *)
+    counters are bumped.  With [trace], each actual parse runs inside a
+    ["ccg-parse"] span and every lookup emits a ["cache-hit"] or
+    ["cache-miss"] instant. *)
 
 val hits : t -> int
 val misses : t -> int

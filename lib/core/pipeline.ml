@@ -9,6 +9,7 @@ module Ir = Sage_codegen.Ir
 module Context = Sage_codegen.Context
 module Generate = Sage_codegen.Generate
 module Assemble = Sage_codegen.Assemble
+module Trace = Sage_trace.Trace
 
 type spec = {
   protocol : string;
@@ -128,6 +129,18 @@ let timed metrics stage f =
 let bump ?by metrics name =
   match metrics with Some m -> Sage_sched.Metrics.incr ?by m name | None -> ()
 
+let status_label = function
+  | Annotated_non_actionable -> "annotated-non-actionable"
+  | Zero_lf -> "zero-lf"
+  | Ambiguous _ -> "ambiguous"
+  | Parsed _ -> "parsed"
+  | Subject_supplied _ -> "subject-supplied"
+  | Crashed _ -> "crashed"
+
+(* keep per-sentence trace args bounded; ellipsis marks the cut *)
+let clip ?(max = 120) s =
+  if String.length s <= max then s else String.sub s 0 max ^ "..."
+
 let prefix_matches sentence prefix =
   let norm s =
     String.concat " " (List.filter (fun w -> w <> "") (String.split_on_char ' ' s))
@@ -157,8 +170,8 @@ let drop_terminator chunks =
     List.rev rest
   | _ -> chunks
 
-let analyze_sentence spec ?message ?field ?struct_def ?strategy ?cache ?metrics
-    sentence =
+let analyze_sentence_body spec ?message ?field ?struct_def ?strategy ?cache
+    ?metrics ?trace sentence =
   bump metrics "sentences";
   let annotated =
     List.exists (prefix_matches sentence) spec.annotated_non_actionable
@@ -176,7 +189,7 @@ let analyze_sentence spec ?message ?field ?struct_def ?strategy ?cache ?metrics
     ignore struct_def;
     let parse chunks =
       let r =
-        Chart_cache.parse ?cache ?metrics ~protocol:spec.protocol
+        Chart_cache.parse ?cache ?metrics ?trace ~protocol:spec.protocol
           ~lexicon:spec.lexicon chunks
       in
       bump ~by:(List.length r.Sage_ccg.Parser.items) metrics "chart_items";
@@ -196,6 +209,13 @@ let analyze_sentence spec ?message ?field ?struct_def ?strategy ?cache ?metrics
       in
       bump ~by:(tr.Winnow.base - List.length tr.Winnow.survivors) metrics
         "winnow_killed";
+      Trace.instant ~cat:"pipeline"
+        ~args:
+          [
+            ("lfs_before", Trace.Int tr.Winnow.base);
+            ("lfs_after", Trace.Int (List.length tr.Winnow.survivors));
+          ]
+        trace "winnow";
       tr
     in
     let finish ~supplied base_count tr =
@@ -262,6 +282,33 @@ let analyze_sentence spec ?message ?field ?struct_def ?strategy ?cache ?metrics
         try_attempts attempts
     end
   end
+
+(* Per-sentence span wrapper: the Begin event carries the sentence's
+   provenance (clipped text, message, field), the End event its outcome
+   (status + LF count before winnowing). *)
+let analyze_sentence spec ?message ?field ?struct_def ?strategy ?cache ?metrics
+    ?trace sentence =
+  let span_args =
+    ("sentence", Trace.Str (clip sentence))
+    :: ((match message with Some m -> [ ("message", Trace.Str m) ] | None -> [])
+       @ match field with Some f -> [ ("field", Trace.Str f) ] | None -> [])
+  in
+  let sp = Trace.span ~cat:"pipeline" ~args:span_args trace "sentence" in
+  match
+    analyze_sentence_body spec ?message ?field ?struct_def ?strategy ?cache
+      ?metrics ?trace sentence
+  with
+  | report ->
+    Trace.close trace sp
+      ~args:
+        [
+          ("status", Trace.Str (status_label report.status));
+          ("base_lfs", Trace.Int report.base_lf_count);
+        ];
+    report
+  | exception exn ->
+    Trace.close trace sp ~args:[ ("status", Trace.Str "raised") ];
+    raise exn
 
 (* ------------------------------------------------------------------ *)
 (* Variants: one generated function per message form.                  *)
@@ -368,9 +415,19 @@ type analysis_job = {
   job_sentence : string;
 }
 
-let run_document ?(jobs = 1) ?cache ?metrics spec ~title ~text =
+let run_document ?(jobs = 1) ?cache ?metrics ?trace spec ~title ~text =
   let m = match metrics with Some m -> m | None -> Sage_sched.Metrics.create () in
   let metrics = Some m in
+  Trace.with_span ~cat:"pipeline"
+    ~args:
+      [
+        ("protocol", Trace.Str spec.protocol);
+        ("title", Trace.Str title);
+        ("jobs", Trace.Int jobs);
+      ]
+    trace "document"
+  @@ fun () ->
+  let prepass_span = Trace.span ~cat:"pipeline" trace "phase:prepass" in
   let document =
     timed metrics "doc_parse" (fun () -> Document.parse ~title text)
   in
@@ -430,16 +487,26 @@ let run_document ?(jobs = 1) ?cache ?metrics spec ~title ~text =
       document.Document.sections
   in
   let job_array = Array.of_list (List.rev !rev_jobs) in
+  Trace.close trace prepass_span
+    ~args:[ ("jobs", Trace.Int (Array.length job_array)) ];
   (* ---- phase 2: sentence analysis (parallel) ---- *)
+  let analysis_span = Trace.span ~cat:"pipeline" trace "phase:analysis" in
   let reports =
     Sage_sched.Pool.map ~jobs
+      ~around_worker:(fun id body ->
+        Trace.with_span ~cat:"sched"
+          ~args:[ ("worker", Trace.Int id) ]
+          trace
+          (Printf.sprintf "worker-%d" id)
+          body)
       (fun job ->
         (* graceful degradation: a crash while analysing one sentence is
            captured in that sentence's report instead of aborting the
            whole document run *)
         match
           analyze_sentence spec ~message:job.job_msg ?field:job.job_field
-            ?struct_def:job.job_struct_def ?cache ?metrics job.job_sentence
+            ?struct_def:job.job_struct_def ?cache ?metrics ?trace
+            job.job_sentence
         with
         | report -> report
         | exception exn ->
@@ -448,7 +515,9 @@ let run_document ?(jobs = 1) ?cache ?metrics spec ~title ~text =
             status = Crashed (Printexc.to_string exn) })
       job_array
   in
+  Trace.close trace analysis_span;
   (* ---- phase 3: code generation (sequential, document order) ---- *)
+  let codegen_span = Trace.span ~cat:"pipeline" trace "phase:codegen" in
   let all_reports = ref [] in
   let non_actionable = ref [] in
   let functions = ref [] in
@@ -574,12 +643,18 @@ let run_document ?(jobs = 1) ?cache ?metrics spec ~title ~text =
     plans;
   let functions = !functions in
   let struct_of_function = List.rev !struct_of_function in
+  Trace.close trace codegen_span
+    ~args:[ ("functions", Trace.Int (List.length functions)) ];
   let c_code =
+    Trace.with_span ~cat:"pipeline" trace "phase:render" @@ fun () ->
     timed metrics "render" (fun () ->
         Sage_codegen.C_printer.render_program ~protocol:spec.protocol ~structs
           ~funcs:functions)
   in
   (* ---- phase 4: static analysis over the generated IR ---- *)
+  let analysis4_span =
+    Trace.span ~cat:"pipeline" trace "phase:static-analysis"
+  in
   let provenance = List.rev !provenance in
   let sentence_of_stmt s =
     match s with
@@ -597,6 +672,25 @@ let run_document ?(jobs = 1) ?cache ?metrics spec ~title ~text =
   bump
     ~by:(Sage_analysis.Diagnostic.warnings diagnostics)
     metrics "diag_warnings";
+  List.iter
+    (fun (d : Sage_analysis.Diagnostic.t) ->
+      Trace.instant ~cat:"analysis"
+        ~args:
+          [
+            ("code", Trace.Str d.Sage_analysis.Diagnostic.code);
+            ( "severity",
+              Trace.Str
+                (Sage_analysis.Diagnostic.severity_name
+                   d.Sage_analysis.Diagnostic.severity) );
+            ("fn", Trace.Str d.Sage_analysis.Diagnostic.fn_name);
+          ]
+        trace "diagnostic")
+    diagnostics;
+  Trace.close trace analysis4_span
+    ~args:[ ("diagnostics", Trace.Int (List.length diagnostics)) ];
+  Trace.counter ~cat:"pipeline" trace "sentences" (Array.length job_array);
+  Trace.counter ~cat:"pipeline" trace "functions" (List.length functions);
+  Trace.counter ~cat:"pipeline" trace "diagnostics" (List.length diagnostics);
   {
     spec;
     document;

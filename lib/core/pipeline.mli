@@ -89,12 +89,17 @@ val analyze_sentence :
   ?strategy:Sage_nlp.Chunker.strategy ->
   ?cache:Chart_cache.t ->
   ?metrics:Sage_sched.Metrics.t ->
+  ?trace:Sage_trace.Trace.t ->
   string ->
   sentence_report
 (** Parse and winnow one sentence (with subject-supply retry for field
     descriptions).  [cache] memoizes the CCG chart on the post-chunking
     token sequence; [metrics] accumulates stage times ("chunk", "parse",
-    "winnow") and counters. *)
+    "winnow") and counters.  [trace] wraps the analysis in a
+    ["sentence"] span whose Begin event carries provenance (clipped
+    sentence text, message, field) and whose End event carries the
+    outcome (status, LF count before winnowing), with ["winnow"]
+    instants recording LF counts before/after each winnow pass. *)
 
 val run : spec -> title:string -> text:string -> run
 (** The full pipeline over an RFC document, sequentially:
@@ -104,6 +109,7 @@ val run_document :
   ?jobs:int ->
   ?cache:Chart_cache.t ->
   ?metrics:Sage_sched.Metrics.t ->
+  ?trace:Sage_trace.Trace.t ->
   spec ->
   title:string ->
   text:string ->
@@ -115,7 +121,17 @@ val run_document :
     byte-identical whatever [jobs] is and whether or not [cache] is warm
     (timings in [metrics] of course vary).  [cache] may be shared across
     runs and protocols; [metrics] defaults to a fresh record, returned in
-    the [run]. *)
+    the [run].
+
+    [trace] records the run as structured events: a ["document"] span
+    enclosing ["phase:prepass"] / ["phase:analysis"] /
+    ["phase:codegen"] / ["phase:render"] / ["phase:static-analysis"]
+    spans, per-worker ["worker-N"] spans inside the analysis phase, one
+    ["sentence"] span per analysed sentence (see {!analyze_sentence}),
+    cache hit/miss instants, one ["diagnostic"] instant per
+    static-analysis finding and final sentence/function/diagnostic
+    counters.  Tracing never changes the run's output — with [trace]
+    absent every emission helper is a no-op. *)
 
 val ambiguous_sentences : run -> sentence_report list
 val zero_lf_sentences : run -> sentence_report list

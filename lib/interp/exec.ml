@@ -221,9 +221,20 @@ let rec run_stmts rt stmts =
        if Rt.int_of_value (eval_expr rt c) <> 0L then run_stmts rt then_
        else run_stmts rt else_
      | Ir.Do e -> ignore (eval_expr rt e)
-     | Ir.Discard -> rt.Rt.discarded <- true
-     | Ir.Send m -> rt.Rt.sent_messages <- m :: rt.Rt.sent_messages
+     | Ir.Discard ->
+       rt.Rt.discarded <- true;
+       Sage_trace.Trace.instant ~cat:"interp" rt.Rt.trace "discard"
+     | Ir.Send m ->
+       rt.Rt.sent_messages <- m :: rt.Rt.sent_messages;
+       Sage_trace.Trace.instant ~cat:"interp"
+         ~args:[ ("message", Sage_trace.Trace.Str m) ]
+         rt.Rt.trace "send"
      | Ir.Comment _ -> ());
     run_stmts rt rest
 
-let run_func rt (f : Ir.func) = run_stmts rt f.Ir.body
+let run_func rt (f : Ir.func) =
+  Sage_trace.Trace.with_span ~cat:"interp"
+    ~args:[ ("fn", Sage_trace.Trace.Str f.Ir.fn_name) ]
+    rt.Rt.trace
+    ("exec:" ^ f.Ir.fn_name)
+    (fun () -> run_stmts rt f.Ir.body)

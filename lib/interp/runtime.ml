@@ -20,6 +20,7 @@ type t = {
   mutable selected_session : int64 option;
   step_budget : int;
   mutable steps : int;
+  trace : Sage_trace.Trace.t option;
 }
 
 let ip_info ?(ttl = 64) ?(tos = 0) ~src ~dst () = { src; dst; ttl; tos }
@@ -27,7 +28,7 @@ let ip_info ?(ttl = 64) ?(tos = 0) ~src ~dst () = { src; dst; ttl; tos }
 let default_step_budget = 100_000
 
 let create ?request ?request_ip ?(params = []) ?(state = [])
-    ?(step_budget = default_step_budget) ~proto ~ip () =
+    ?(step_budget = default_step_budget) ?trace ~proto ~ip () =
   let param_tbl = Hashtbl.create 16 in
   List.iter (fun (k, v) -> Hashtbl.replace param_tbl k v) params;
   let state_tbl = Hashtbl.create 16 in
@@ -45,6 +46,7 @@ let create ?request ?request_ip ?(params = []) ?(state = [])
     selected_session = None;
     step_budget;
     steps = 0;
+    trace;
   }
 
 (* true when this step is still within budget; exec turns false into a

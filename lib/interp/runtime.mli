@@ -25,6 +25,9 @@ type t = {
   mutable selected_session : int64 option;
   step_budget : int;  (** max statements + expression evaluations *)
   mutable steps : int;
+  trace : Sage_trace.Trace.t option;
+      (** structured-event sink: {!Exec} emits an [exec:<fn>] span per
+          function and [send] / [discard] instants against it *)
 }
 
 val default_step_budget : int
@@ -37,6 +40,7 @@ val create :
   ?params:(string * value) list ->
   ?state:(string * int64) list ->
   ?step_budget:int ->
+  ?trace:Sage_trace.Trace.t ->
   proto:Packet_view.t ->
   ip:ip_info ->
   unit ->

@@ -3,6 +3,7 @@
 
 let available = true
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
+let self_id () = (Domain.self () :> int)
 
 type handle = unit Domain.t
 

@@ -5,6 +5,7 @@
 
 let available = false
 let default_jobs () = 1
+let self_id () = 0
 
 type handle = unit
 

@@ -36,6 +36,10 @@ let time t stage f =
     add_ns t stage (Int64.sub (now_ns ()) t0);
     raise exn
 
+(* Every reader goes through this sort: hashtable iteration order is
+   unspecified (and seed-dependent), and stat/metric lines feed golden
+   snapshots and BENCH_*.json diffs, which must be stable across runs.
+   test/test_trace.ml asserts the sortedness. *)
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

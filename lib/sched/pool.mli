@@ -14,13 +14,30 @@ val available : bool
 val default_jobs : unit -> int
 (** Recommended [jobs] for this host ([1] on the sequential fallback). *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map :
+  ?around_worker:(int -> (unit -> unit) -> unit) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [map ~jobs f items] applies [f] to every element, using up to [jobs]
     workers (including the calling thread).  [jobs <= 1], a singleton or
     empty input, or a fallback build all degrade to plain [Array.map].
     If any [f] raises, remaining queued jobs are abandoned and the first
     exception (by completion time) is re-raised after all workers
-    join. *)
+    join.
 
-val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+    [around_worker id body] wraps each worker's whole drain loop and
+    {e must} call [body] exactly once; [id] is a stable worker index
+    ([0] for the calling thread, [1..jobs-1] for spawned workers — the
+    sequential path runs entirely as worker [0]).  Defaults to a plain
+    call.  Used to open per-worker trace spans without making the
+    scheduler depend on the tracer. *)
+
+val map_list :
+  ?around_worker:(int -> (unit -> unit) -> unit) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** List version of {!map}, same ordering guarantee. *)

@@ -14,6 +14,11 @@ val default_jobs : unit -> int
 (** The recommended worker count for this host: the runtime's
     recommended domain count on OCaml 5, always [1] on the fallback. *)
 
+val self_id : unit -> int
+(** A small integer identifying the calling worker (the domain id on
+    OCaml 5, always [0] on the sequential fallback).  Used to tag trace
+    events with the thread that emitted them. *)
+
 type handle
 (** A running worker. *)
 

@@ -24,6 +24,8 @@ type t = {
   mutable tick : int;
   mutable pending : (int * bytes) list;  (* (due tick, packet), FIFO order *)
   mutable held : bytes option;           (* packet withheld by Reorder *)
+  mutable observer : (fault -> unit) option;
+      (* notified each time a rule fires; never affects the stream *)
 }
 
 (* splitmix64 (Steele, Lea & Flood 2014): tiny, fast, and passes BigCrush;
@@ -43,10 +45,18 @@ let draw t =
   Int64.to_float bits *. (1.0 /. 9007199254740992.0)
 
 let create ?(plan = []) ~seed () =
-  { state = Int64.of_int seed; plan; tick = 0; pending = []; held = None }
+  {
+    state = Int64.of_int seed;
+    plan;
+    tick = 0;
+    pending = [];
+    held = None;
+    observer = None;
+  }
 
 let tick t = t.tick
 let plan t = t.plan
+let set_observer t f = t.observer <- Some f
 
 let corrupt_packet ~offset ~mask p =
   let len = Bytes.length p in
@@ -70,7 +80,8 @@ let apply_rule t rule pkts =
   List.concat_map
     (fun p ->
       if draw t >= rule.probability then [ p ]
-      else
+      else begin
+        (match t.observer with Some f -> f rule.fault | None -> ());
         match rule.fault with
         | Drop -> []
         | Duplicate -> [ p; Bytes.copy p ]
@@ -86,7 +97,8 @@ let apply_rule t rule pkts =
             t.held <- Some p;
             [ q ])
         | Corrupt { offset; mask } -> [ corrupt_packet ~offset ~mask p ]
-        | Truncate n -> [ truncate_packet n p ])
+        | Truncate n -> [ truncate_packet n p ]
+      end)
     pkts
 
 let release_due t =

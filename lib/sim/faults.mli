@@ -48,6 +48,16 @@ val tick : t -> int
 
 val plan : t -> plan
 
+val set_observer : t -> (fault -> unit) -> unit
+(** Install a callback invoked each time a rule {e fires} (i.e. its
+    probability draw succeeds), with the fault applied.  Purely
+    observational — it cannot change the packet stream and draws no
+    randomness, so installing one never perturbs a seeded schedule.
+    {!Network} uses it to emit fault events into a trace. *)
+
+val fault_to_string : fault -> string
+(** The plan-syntax spelling of one fault, e.g. ["delay:3"]. *)
+
 val plan_of_string : string -> (plan, string) result
 (** Parse the CLI plan syntax: comma-separated [kind[:args]@probability]
     rules, e.g. ["drop@0.1,dup@0.05,delay:3@0.2,corrupt:8:0x04@0.02,truncate:20@0.1,reorder@0.1"].

@@ -4,11 +4,11 @@ module Exec = Sage_interp.Exec
 module Addr = Sage_net.Addr
 module Ipv4 = Sage_net.Ipv4
 
-type t = { run : Sage.Pipeline.run }
+type t = { run : Sage.Pipeline.run; trace : Sage_trace.Trace.t option }
 
 type env_value = Rt.value
 
-let of_run run = { run }
+let of_run ?trace run = { run; trace }
 
 let functions t = t.run.Sage.Pipeline.codegen.Sage.Pipeline.functions
 
@@ -47,7 +47,7 @@ let build_message ?(params = []) ?(data = Bytes.empty) ~src ~dst t ~fn =
           let proto = Pv.create sd in
           Pv.set_data proto data;
           let ip = Rt.ip_info ~src ~dst () in
-          let rt = Rt.create ~params:(base_params @ params) ~proto ~ip () in
+          let rt = Rt.create ?trace:t.trace ~params:(base_params @ params) ~proto ~ip () in
           Result.map
             (fun () ->
               let payload = Pv.serialize proto in
@@ -82,7 +82,7 @@ let build_error_message ?(params = []) ~router_addr ~original t ~fn =
                  the router as source *)
               let ip = Rt.ip_info ~src:router_addr ~dst:Addr.any () in
               let rt =
-                Rt.create
+                Rt.create ?trace:t.trace
                   ~params:(base_params @ excerpts @ params)
                   ~proto ~ip ()
               in
@@ -120,7 +120,7 @@ let process_request ?(params = []) t ~fn ~request =
                    ~src:req_hdr.Ipv4.src ~dst:req_hdr.Ipv4.dst ()
                in
                let rt =
-                 Rt.create ~request:request_view ~request_ip
+                 Rt.create ?trace:t.trace ~request:request_view ~request_ip
                    ~params:(base_params @ params) ~proto ~ip ()
                in
                Result.map
@@ -145,7 +145,7 @@ let run_state_update ?(state = []) ?(params = []) t ~fn ~packet =
             (* state management processes the received packet in place *)
             let ip = Rt.ip_info ~src:Addr.any ~dst:Addr.any () in
             let rt =
-              Rt.create ~state
+              Rt.create ?trace:t.trace ~state
                 ~params:
                   (base_params
                   @ [ ("payload_length", Rt.VInt (Int64.of_int (Bytes.length packet))) ]

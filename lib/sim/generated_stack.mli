@@ -8,7 +8,10 @@
 
 type t
 
-val of_run : Sage.Pipeline.run -> t
+val of_run : ?trace:Sage_trace.Trace.t -> Sage.Pipeline.run -> t
+(** [trace] is handed to every runtime this stack creates, so executing
+    generated functions emits [exec:<fn>] spans and send/discard
+    instants (see {!Sage_interp.Exec}). *)
 
 val functions : t -> Sage_codegen.Ir.func list
 

@@ -24,13 +24,26 @@ type t = {
   cap : Pcap.capture;
   faults : Faults.t option;
       (* when present, every [send] passes through the fault process *)
+  trace : Sage_trace.Trace.t option;
 }
+
+module Trace = Sage_trace.Trace
 
 let p = Addr.prefix_of_string_exn
 let a = Addr.of_string_exn
 
 let default_topology ?(service = Icmp_service.reference) ?(extra_hops = 0)
-    ?faults () =
+    ?faults ?trace () =
+  (* wire the fault process into the trace: each fired rule becomes a
+     [fault:<kind>] instant (observation only, never perturbs the seeded
+     stream) *)
+  (match (faults, trace) with
+  | Some f, Some _ ->
+    Faults.set_observer f (fun fault ->
+        Trace.instant ~cat:"sim"
+          ~args:[ ("kind", Trace.Str (Faults.fault_to_string fault)) ]
+          trace "fault")
+  | _ -> ());
   let transit =
     List.init extra_hops (fun i -> Addr.of_octets 10 255 0 (i + 1))
   in
@@ -54,7 +67,10 @@ let default_topology ?(service = Icmp_service.reference) ?(extra_hops = 0)
     transit;
     cap = Pcap.create ();
     faults;
+    trace;
   }
+
+let trace t = t.trace
 
 let client_addr t = (List.nth t.hosts 0).addr
 let server1_addr t = (List.nth t.hosts 1).addr
@@ -231,13 +247,43 @@ let route t ~from dgram =
 (* Every packet exiting the fault process this tick is routed in order;
    the capture records what is actually on the wire (after corruption,
    truncation or duplication), so a seeded run's pcap is reproducible. *)
+let delivery_label = function
+  | Delivered _ -> "delivered"
+  | Icmp_response _ -> "icmp-response"
+  | Replied _ -> "replied"
+  | Dropped _ -> "dropped"
+
+let traced_route t ~from dgram =
+  let d = route t ~from dgram in
+  Trace.instant ~cat:"sim"
+    ~args:
+      (( "outcome", Trace.Str (delivery_label d) )
+      ::
+      (match d with
+      | Dropped reason -> [ ("reason", Trace.Str reason) ]
+      | Delivered a -> [ ("host", Trace.Str (Addr.to_string a)) ]
+      | Icmp_response b | Replied b -> [ ("len", Trace.Int (Bytes.length b)) ]))
+    t.trace "rx";
+  d
+
 let send_all t ~from dgram =
+  Trace.instant ~cat:"sim"
+    ~args:
+      [
+        ("from", Trace.Str (Addr.to_string from));
+        ("len", Trace.Int (Bytes.length dgram));
+      ]
+    t.trace "tx";
   match t.faults with
-  | None -> [ route t ~from dgram ]
+  | None -> [ traced_route t ~from dgram ]
   | Some f -> (
     match Faults.transmit f dgram with
-    | [] -> [ Dropped "fault: packet lost in transit" ]
-    | on_wire -> List.map (route t ~from) on_wire)
+    | [] ->
+      Trace.instant ~cat:"sim"
+        ~args:[ ("outcome", Trace.Str "lost") ]
+        t.trace "rx";
+      [ Dropped "fault: packet lost in transit" ]
+    | on_wire -> List.map (traced_route t ~from) on_wire)
 
 let send t ~from dgram =
   let deliveries = send_all t ~from dgram in

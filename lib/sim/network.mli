@@ -16,14 +16,28 @@ type delivery =
   | Dropped of string                   (** silently dropped, with reason *)
 
 val default_topology :
-  ?service:Icmp_service.t -> ?extra_hops:int -> ?faults:Faults.t -> unit -> t
+  ?service:Icmp_service.t ->
+  ?extra_hops:int ->
+  ?faults:Faults.t ->
+  ?trace:Sage_trace.Trace.t ->
+  unit ->
+  t
 (** The appendix topology.  [service] defaults to {!Icmp_service.reference}
     and is the implementation running on the router {e and} hosts.
     [extra_hops] (default 0) inserts that many transit routers between
     the first-hop router and the servers, so traceroute sees a longer
     path.  [faults], when given, is a fault process every sent packet
     passes through before reaching the network (see {!Faults}); the
-    capture then records the traffic as mutated by the faults. *)
+    capture then records the traffic as mutated by the faults.
+    [trace] records wire activity as structured events: a ["tx"]
+    instant per injected datagram, an ["rx"] instant per outcome
+    (delivered / replied / icmp-response / dropped / lost) and — when
+    [faults] is also given — a ["fault"] instant each time a rule
+    fires, via {!Faults.set_observer}. *)
+
+val trace : t -> Sage_trace.Trace.t option
+(** The trace the topology was built with, for layering protocol-level
+    spans (ping/traceroute probes) over the wire events. *)
 
 val client_addr : t -> Sage_net.Addr.t
 (** 10.0.1.50, the client host. *)

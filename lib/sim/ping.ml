@@ -110,6 +110,10 @@ let ping ?(count = 3) ?(identifier = 0x2327) ?(payload_len = 56) ~net target =
     in
     let dgram = Ipv4.encode hdr ~payload:request in
     let check =
+      Sage_trace.Trace.with_span ~cat:"sim"
+        ~args:[ ("seq", Sage_trace.Trace.Int seq) ]
+        (Network.trace net) "ping-probe"
+      @@ fun () ->
       match Network.send net ~from:src dgram with
       | Network.Replied reply ->
         incr received;

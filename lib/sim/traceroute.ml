@@ -50,6 +50,10 @@ let traceroute ?(max_ttl = 8) ?(first_port = 33434) ~net target =
     in
     let probe = Ipv4.encode hdr ~payload:segment in
     let hop =
+      Sage_trace.Trace.with_span ~cat:"sim"
+        ~args:[ ("ttl", Sage_trace.Trace.Int !ttl) ]
+        (Network.trace net) "traceroute-probe"
+      @@ fun () ->
       match Network.send net ~from:src probe with
       | Network.Icmp_response resp ->
         (match Ipv4.decode resp with

@@ -1,0 +1,162 @@
+(* A minimal recursive-descent JSON validity checker for the trace
+   tests.  The repo deliberately has no JSON parsing dependency, so the
+   property "every fuzzed trace renders to well-formed Chrome JSON"
+   needs a local grammar check.  This validates RFC 8259 syntax — it
+   does not build a document tree, it only answers "would a real parser
+   accept these bytes". *)
+
+type state = { src : string; mutable pos : int }
+
+exception Bad of int * string
+
+let error st msg = raise (Bad (st.pos, msg))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> error st (Printf.sprintf "expected %C, found %C" c c')
+  | None -> error st (Printf.sprintf "expected %C, found end of input" c)
+
+let expect_keyword st kw =
+  String.iter (fun c -> expect st c) kw
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false
+
+let check_string st =
+  expect st '"';
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+         advance st;
+         go ()
+       | Some 'u' ->
+         advance st;
+         for _ = 1 to 4 do
+           match peek st with
+           | Some c when is_hex c -> advance st
+           | _ -> error st "bad \\u escape"
+         done;
+         go ()
+       | _ -> error st "bad escape")
+    | Some c when Char.code c < 0x20 -> error st "raw control character in string"
+    | Some _ ->
+      advance st;
+      go ()
+  in
+  go ()
+
+let check_number st =
+  (match peek st with Some '-' -> advance st | _ -> ());
+  (match peek st with
+   | Some '0' -> advance st
+   | Some c when is_digit c ->
+     while (match peek st with Some c -> is_digit c | None -> false) do
+       advance st
+     done
+   | _ -> error st "bad number");
+  (match peek st with
+   | Some '.' ->
+     advance st;
+     (match peek st with
+      | Some c when is_digit c -> ()
+      | _ -> error st "digit required after decimal point");
+     while (match peek st with Some c -> is_digit c | None -> false) do
+       advance st
+     done
+   | _ -> ());
+  match peek st with
+  | Some ('e' | 'E') ->
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    (match peek st with
+     | Some c when is_digit c -> ()
+     | _ -> error st "digit required in exponent");
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done
+  | _ -> ()
+
+let rec check_value st =
+  skip_ws st;
+  match peek st with
+  | Some '{' -> check_object st
+  | Some '[' -> check_array st
+  | Some '"' -> check_string st
+  | Some 't' -> expect_keyword st "true"
+  | Some 'f' -> expect_keyword st "false"
+  | Some 'n' -> expect_keyword st "null"
+  | Some ('-' | '0' .. '9') -> check_number st
+  | Some c -> error st (Printf.sprintf "unexpected %C" c)
+  | None -> error st "unexpected end of input"
+
+and check_object st =
+  expect st '{';
+  skip_ws st;
+  match peek st with
+  | Some '}' -> advance st
+  | _ ->
+    let rec members () =
+      skip_ws st;
+      check_string st;
+      skip_ws st;
+      expect st ':';
+      check_value st;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        members ()
+      | Some '}' -> advance st
+      | _ -> error st "expected ',' or '}'"
+    in
+    members ()
+
+and check_array st =
+  expect st '[';
+  skip_ws st;
+  match peek st with
+  | Some ']' -> advance st
+  | _ ->
+    let rec elements () =
+      check_value st;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        elements ()
+      | Some ']' -> advance st
+      | _ -> error st "expected ',' or ']'"
+    in
+    elements ()
+
+let validate s =
+  let st = { src = s; pos = 0 } in
+  match
+    check_value st;
+    skip_ws st;
+    peek st
+  with
+  | None -> Ok ()
+  | Some c -> Error (Printf.sprintf "trailing %C at offset %d" c st.pos)
+  | exception Bad (pos, msg) -> Error (Printf.sprintf "%s at offset %d" msg pos)
+
+let is_valid s = Result.is_ok (validate s)

@@ -496,6 +496,81 @@ let test_bfd_fsm_recovery () =
     expect 3L 1L 1L;
     expect 3L 3L 3L
 
+(* ---- interop under seeded fault injection (§6.2 + fault harness) ----
+
+   The fault stream is a seeded splitmix64 PRNG, so for a fixed plan,
+   seed and traffic pattern the delivery schedule is byte-reproducible:
+   these tests pin the exact reply counts the CLI's
+   `sage interop --fault-plan ... --fault-seed ...` reports. *)
+
+module Faults = Sage_sim.Faults
+module Trace = Sage_trace.Trace
+
+let fault_net ?trace ~plan ~seed () =
+  match Faults.plan_of_string plan with
+  | Error e -> Alcotest.failf "bad fault plan %S: %s" plan e
+  | Ok plan ->
+    let faults = Faults.create ~plan ~seed () in
+    Net.default_topology
+      ~service:(Svc.generated (Lazy.force stack))
+      ~faults ?trace ()
+
+let count_checks pred checks = List.length (List.filter pred checks)
+
+let test_interop_under_drop_faults () =
+  let net = fault_net ~plan:"drop@0.2" ~seed:7 () in
+  let target = Net.server1_addr net in
+  let res = Ping.ping ~net target in
+  check Alcotest.int "packets sent" 3 res.Ping.sent;
+  check Alcotest.int "replies under 20% drop (seed 7)" 2 res.Ping.received;
+  check Alcotest.bool "degraded, not clean" false (Ping.success res);
+  (* the lost probe classifies as a drop — never as a malformed reply,
+     which would indict the generated code instead of the wire *)
+  check Alcotest.int "one unanswered probe" 1
+    (count_checks (function Ping.No_reply _ -> true | _ -> false) res.Ping.checks);
+  check Alcotest.int "no malformed replies" 0
+    (count_checks (function Ping.Bad_reply _ -> true | _ -> false) res.Ping.checks);
+  let tr = Tr.traceroute ~net target in
+  check Alcotest.bool "traceroute still reaches" true tr.Tr.reached;
+  check Alcotest.int "hop count" 2 (Tr.hop_count tr);
+  check Alcotest.int "no probes lost" 0 (Tr.lost_probes tr)
+
+let test_interop_under_mixed_faults () =
+  let net =
+    fault_net ~plan:"drop@0.3,dup@0.1,corrupt:20:0xff@0.2" ~seed:11 ()
+  in
+  let target = Net.server1_addr net in
+  let res = Ping.ping ~net target in
+  check Alcotest.int "replies under mixed plan (seed 11)" 2 res.Ping.received;
+  check Alcotest.bool "degraded, not clean" false (Ping.success res);
+  let tr = Tr.traceroute ~net target in
+  check Alcotest.bool "reaches despite losses" true tr.Tr.reached;
+  check Alcotest.int "retries stretch the path to 4 probes" 4 (Tr.hop_count tr);
+  check Alcotest.int "two probes lost" 2 (Tr.lost_probes tr);
+  check (Alcotest.float 0.001) "50% probe loss" 50.0 (Tr.loss_rate tr)
+
+let test_interop_fault_trace_events () =
+  let trace = Trace.create ~clock:Trace.Logical () in
+  let net = fault_net ~trace ~plan:"drop@0.2" ~seed:7 () in
+  let target = Net.server1_addr net in
+  let res = Ping.ping ~net target in
+  (* the fault observer is purely observational: attaching a tracer
+     must not perturb the seeded schedule (same 2/3 as untraced) *)
+  check Alcotest.int "observer does not perturb the schedule" 2
+    res.Ping.received;
+  let evs = Trace.events trace in
+  let names = List.map (fun (ev : Trace.event) -> ev.Trace.name) evs in
+  List.iter
+    (fun n ->
+      check Alcotest.bool (n ^ " events present") true (List.mem n names))
+    [ "tx"; "rx"; "fault"; "ping-probe" ];
+  List.iter
+    (fun (ev : Trace.event) ->
+      if ev.Trace.name = "fault" then
+        check Alcotest.bool "fault kind is drop" true
+          (List.mem ("kind", Trace.Str "drop") ev.Trace.args))
+    evs
+
 let suite =
   [
     tc "ping <-> generated code (6.2)" test_ping_interop;
@@ -517,4 +592,10 @@ let suite =
     tc "BFD: demand mode ceases periodic tx" test_bfd_generated_demand_mode_ceases_tx;
     tc "BFD: transmit guards (6.8.7)" test_bfd_generated_transmit_guards;
     tc "BFD: FSM recovered from generated code" test_bfd_fsm_recovery;
+    tc "fault plan drop@0.2 seed 7: pinned degradation"
+      test_interop_under_drop_faults;
+    tc "fault plan drop+dup+corrupt seed 11: pinned degradation"
+      test_interop_under_mixed_faults;
+    tc "fault injection emits trace events without perturbing"
+      test_interop_fault_trace_events;
   ]

@@ -24,4 +24,6 @@ let () =
       ("sem-props", Test_sem_props.suite);
       ("net-props", Test_net_props.suite);
       ("parallel", Test_parallel.suite);
+      ("trace", Test_trace.suite);
+      ("golden-snapshots", Test_golden_snapshots.suite);
     ]
