@@ -590,6 +590,84 @@ let corpus_cmd =
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg)
 
 (* ------------------------------------------------------------------ *)
+(* sage fuzz                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let seed_arg =
+    let doc = "PRNG seed: the same seed reproduces the identical run." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let iters_arg =
+    let doc = "Number of fuzz iterations." in
+    Arg.(value & opt int 2000 & info [ "iters" ] ~docv:"N" ~doc)
+  in
+  let coverage_out_arg =
+    let doc = "Write per-function IR statement coverage as JSON to $(docv)." in
+    Arg.(value
+         & opt (some string) None
+         & info [ "coverage-out" ] ~docv:"FILE" ~doc)
+  in
+  let seeded_bug_arg =
+    let doc =
+      "Tamper the generated IR with a known checksum bug before fuzzing \
+       (oracle-suite self-test: the run must report exactly one finding)."
+    in
+    Arg.(value & flag & info [ "seeded-bug" ] ~doc)
+  in
+  let run proto verbose rewritten jobs seed iters seeded_bug coverage_out stats
+      trace_file trace_format trace_clock =
+    setup_logs verbose;
+    with_trace ~clock:trace_clock trace_file trace_format @@ fun trace ->
+    let result = run_pipeline ~jobs ?trace proto rewritten in
+    let funcs = result.P.codegen.P.functions in
+    let funcs =
+      if seeded_bug then
+        Sage_fuzz.Seeded_bug.tamper_checksum
+          ~fn:Sage_fuzz.Seeded_bug.default_target funcs
+      else funcs
+    in
+    let targets =
+      List.filter_map
+        (fun (f : Sage_codegen.Ir.func) ->
+          Option.map
+            (fun sd -> (f, sd))
+            (List.assoc_opt f.Sage_codegen.Ir.fn_name
+               result.P.codegen.P.struct_of_function))
+        funcs
+    in
+    let fz =
+      Sage_fuzz.Engine.run ?trace ~metrics:result.P.metrics ~seed ~iters
+        ~protocol:result.P.spec.P.protocol targets
+    in
+    print_string (Sage_fuzz.Engine.summary fz);
+    (match coverage_out with
+     | None -> ()
+     | Some file ->
+       let oc = open_out file in
+       output_string oc
+         (Sage_interp.Coverage.to_json fz.Sage_fuzz.Engine.coverage
+            fz.Sage_fuzz.Engine.funcs);
+       close_out oc);
+    if stats then begin
+      print_newline ();
+      print_string (Sage.Report.stats result)
+    end;
+    if fz.Sage_fuzz.Engine.findings = [] then 0 else 1
+  in
+  let doc =
+    "Fuzz the generated code under the interpreter: grammar-based packets \
+     from the recovered layouts, IR statement coverage guidance, and a \
+     differential oracle suite (reference decoders, round-trip identity, \
+     checksum verification).  Deterministic for a fixed seed; exits \
+     nonzero when any oracle finding is reported."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
+          $ seed_arg $ iters_arg $ seeded_bug_arg $ coverage_out_arg
+          $ stats_arg $ trace_arg $ trace_format_arg $ trace_clock_arg)
+
+(* ------------------------------------------------------------------ *)
 (* sage report                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -632,7 +710,14 @@ let main_cmd =
   Cmd.group info
     [
       parse_cmd; derivation_cmd; run_cmd; code_cmd; analyze_cmd;
-      ambiguities_cmd; interop_cmd; corpus_cmd; report_cmd;
+      ambiguities_cmd; interop_cmd; corpus_cmd; fuzz_cmd; report_cmd;
     ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* exit 2 on CLI usage errors (unknown flags, malformed values) — the
+   cmdliner default (124) reads like a timeout in CI logs *)
+let () =
+  match Cmd.eval_value main_cmd with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Version | `Help) -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 125

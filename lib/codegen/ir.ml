@@ -125,6 +125,37 @@ and fold_stmt f acc s =
 
 let iter_stmts f stmts = fold_stmts (fun () s -> f s) () stmts
 
+(* Stable pre-order statement ids: a statement's id is its pre-order
+   position in the function body, and [stmt_extent] is the size of the
+   subtree it roots, so a statement at id [base] is followed by its
+   then-branch at [base + 1] and its else-branch at
+   [base + 1 + extent then_].  The numbering depends only on the IR
+   shape, never on execution, which makes coverage counters keyed by
+   (function, id) comparable across runs. *)
+let rec stmt_extent = function
+  | If (_, then_, else_) -> 1 + extent then_ + extent else_
+  | Assign _ | Do _ | Discard | Send _ | Comment _ -> 1
+
+and extent stmts = List.fold_left (fun acc s -> acc + stmt_extent s) 0 stmts
+
+(* Every statement paired with its pre-order id, depth-first. *)
+let numbered_stmts stmts =
+  let rec go base acc = function
+    | [] -> (base, acc)
+    | s :: rest ->
+      let acc = (base, s) :: acc in
+      let acc =
+        match s with
+        | If (_, then_, else_) ->
+          let _, acc = go (base + 1) acc then_ in
+          let _, acc = go (base + 1 + extent then_) acc else_ in
+          acc
+        | Assign _ | Do _ | Discard | Send _ | Comment _ -> acc
+      in
+      go (base + stmt_extent s) acc rest
+  in
+  List.rev (snd (go 0 [] stmts))
+
 let assigned_fields stmts =
   List.rev
     (fold_stmts

@@ -74,6 +74,19 @@ val fold_stmts : ('a -> stmt -> 'a) -> 'a -> stmt list -> 'a
 val iter_stmts : (stmt -> unit) -> stmt list -> unit
 (** [fold_stmts] specialised to side effects. *)
 
+val stmt_extent : stmt -> int
+(** Size of the subtree a statement roots in the pre-order numbering: 1
+    for leaves, [1 + extent then_ + extent else_] for an [If]. *)
+
+val extent : stmt list -> int
+(** Sum of [stmt_extent] over a statement list. *)
+
+val numbered_stmts : stmt list -> (int * stmt) list
+(** Every statement paired with its stable pre-order id (depth-first,
+    [If] before its branches).  Purely shape-derived: the interpreter's
+    coverage instrumentation and the fuzzer's coverage maps key counters
+    by these ids, so they must agree across runs and processes. *)
+
 val assigned_fields : stmt list -> (layer * string) list
 (** All header fields written by the statements — including inside [If]
     branches — in first-write order, duplicates removed (used by the

@@ -42,6 +42,18 @@ let stats run =
       (Printf.sprintf "\nchart cache: %d hits / %d misses (%.1f%% hit rate)\n"
          hits misses
          (100.0 *. float_of_int hits /. float_of_int (hits + misses)));
+  let cov_points = Sage_sched.Metrics.counter m "fuzz.coverage.points" in
+  if cov_points > 0 then begin
+    let cov = Sage_sched.Metrics.counter m "fuzz.coverage.covered" in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\nfuzz: %d iterations, %d findings, %d/%d IR statements covered \
+          (%.1f%%)\n"
+         (Sage_sched.Metrics.counter m "fuzz.iterations")
+         (Sage_sched.Metrics.counter m "fuzz.findings")
+         cov cov_points
+         (100.0 *. float_of_int cov /. float_of_int cov_points))
+  end;
   Buffer.contents buf
 
 let rewrite_worklist run =

@@ -1,0 +1,136 @@
+(* One fuzz execution: deserialize the candidate packet into the
+   function's recovered layout, run the generated IR under the
+   interpreter with a seeded environment, and report everything the
+   oracles need.  The environment is drawn from the RNG *before* the
+   execution and captured in a record, so shrinking can replay the
+   exact same run on smaller packets. *)
+
+module Rt = Sage_interp.Runtime
+module Pv = Sage_interp.Packet_view
+module Exec = Sage_interp.Exec
+module Ir = Sage_codegen.Ir
+module Hd = Sage_rfc.Header_diagram
+module Addr = Sage_net.Addr
+module Ipv4 = Sage_net.Ipv4
+
+let local_addr = Addr.of_octets 10 0 1 50
+let remote_addr = Addr.of_octets 192 168 2 10
+
+(* A fixed, well-formed original IPv4 datagram for the ICMP error
+   senders, which quote its header + first 64 bits of data. *)
+let original_datagram =
+  lazy
+    (let payload = Bytes.make 16 'q' in
+     let hdr =
+       Ipv4.make ~protocol:Ipv4.protocol_udp ~src:remote_addr ~dst:local_addr
+         ~payload_len:(Bytes.length payload) ()
+     in
+     Ipv4.encode hdr ~payload)
+
+let original_excerpts =
+  lazy
+    (let original = Lazy.force original_datagram in
+     match Ipv4.decode original with
+     | Error _ -> assert false (* we built it *)
+     | Ok (hdr, payload) ->
+       let hlen = Ipv4.header_len hdr in
+       [ ("original_datagram", Rt.VBytes original);
+         ("original_datagram_data", Rt.VBytes payload);
+         ("internet_header", Rt.VBytes (Bytes.sub original 0 hlen));
+       ])
+
+(* Everything outside the packet that a generated function may read:
+   env parameters, protocol state, the IP header underneath.  Drawn up
+   front so [exec] itself never consumes randomness. *)
+type env = {
+  params : (string * Rt.value) list;
+  state : (string * int64) list;
+  ttl : int;
+}
+
+let local_discr = 1L
+(* matches a boundary-biased your_discriminator, so BFD's
+   session-lookup path is reachable *)
+
+let env_of rng =
+  let vint v = Rt.VInt v in
+  let flag () = vint (if Rng.bool rng then 1L else 0L) in
+  let params =
+    [ ("current_time", vint 43_200_000L);
+      ("error_pointer", vint (Int64.of_int (Rng.range rng 0 24)));
+      ("gateway_address", vint 0x0A000101L (* 10.0.1.1 *));
+      ("all_hosts_group", vint 0xE0000001L (* 224.0.0.1 *));
+      ("host_group", vint 0xE0000102L (* 224.0.1.2 *));
+      ("interface_address", vint (Int64.of_int32 (Addr.to_int32 local_addr)));
+      ("remote_system", vint (Int64.of_int32 (Addr.to_int32 remote_addr)));
+      ("event_ManualStart", flag ());
+      ("event_ManualStop", flag ());
+    ]
+    @ Lazy.force original_excerpts
+  in
+  let state =
+    [ ("bfd.SessionState", Int64.of_int (Rng.int_below rng 4));
+      ("bfd.LocalDiscr", local_discr);
+      ("bfd.RemoteDiscr", Int64.of_int (Rng.int_below rng 3));
+      ("bfd.RemoteMinRxInterval", Int64.of_int (Rng.int_below rng 3));
+      ("bfd.AuthType", 0L);
+      ("bfd.DetectMult", 3L);
+      ("bfd.PeriodicTx", 1L);
+      ("peer.mode", Int64.of_int (Rng.int_below rng 4));
+      ("peer.timer", Int64.of_int (Rng.int_below rng 2));
+      ("peer.hostpoll", 6L);
+      ("peer.reach", Int64.of_int (Rng.int_below rng 2));
+      ("bgp.State", Int64.of_int (Rng.range rng 1 6));
+      ("bgp.HoldTimer", Int64.of_int (Rng.int_below rng 2));
+      ("bgp.ConnectRetryCounter", 0L);
+    ]
+  in
+  { params; state; ttl = Rng.pick rng [ 0; 1; 64; 255 ] }
+
+type outcome = {
+  view : Pv.t;  (** the packet parsed into the layout, untouched *)
+  discarded : bool;
+  error : string option;  (** interpreter [Runtime_error], if any *)
+  output : bytes;  (** the outgoing header after execution *)
+  assigns_checksum : bool;
+      (** the function writes the protocol checksum field *)
+}
+
+(* [Error _] = structural reject: the packet is too short for the
+   layout's fixed header, so there is nothing to execute. *)
+let exec ?coverage ?trace ~env (f : Ir.func) (layout : Hd.t) packet :
+    (outcome, string) result =
+  match Pv.deserialize layout packet with
+  | Error e -> Error e
+  | Ok view ->
+    let proto = Pv.copy view in
+    let ip = Rt.ip_info ~ttl:env.ttl ~src:local_addr ~dst:remote_addr () in
+    let request, request_ip =
+      match f.Ir.role with
+      | Ir.Receiver ->
+        ( Some (Pv.copy view),
+          Some (Rt.ip_info ~ttl:env.ttl ~src:remote_addr ~dst:local_addr ()) )
+      | Ir.Sender -> (None, None)
+    in
+    let params =
+      ("payload_length", Rt.VInt (Int64.of_int (Bytes.length packet)))
+      :: env.params
+    in
+    let rt =
+      Rt.create ?coverage ?trace ?request ?request_ip ~params ~state:env.state
+        ~proto ~ip ()
+    in
+    let error =
+      match Exec.run_func rt f with
+      | () -> None
+      | exception Exec.Runtime_error e -> Some e
+    in
+    Ok
+      {
+        view;
+        discarded = rt.Rt.discarded;
+        error;
+        output = Pv.serialize proto;
+        assigns_checksum =
+          List.mem (Ir.Proto, "checksum") (Ir.assigned_fields f.Ir.body);
+      }

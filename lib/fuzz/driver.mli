@@ -1,0 +1,38 @@
+(** Single fuzz execution: candidate packet -> interpreter run over the
+    generated IR, with a seeded environment captured up front so
+    shrinking replays the identical run on smaller inputs. *)
+
+type env = {
+  params : (string * Sage_interp.Runtime.value) list;
+  state : (string * int64) list;
+  ttl : int;
+}
+(** Everything outside the packet a generated function may read. *)
+
+val env_of : Rng.t -> env
+(** Draw an environment: fixed addresses/clock, varied protocol state
+    and event flags, boundary TTLs. *)
+
+val local_discr : int64
+(** The BFD local discriminator installed in [bfd.LocalDiscr] (1, a
+    boundary-biased generator value, so session lookup can succeed). *)
+
+type outcome = {
+  view : Sage_interp.Packet_view.t;
+  discarded : bool;
+  error : string option;
+  output : bytes;
+  assigns_checksum : bool;
+}
+
+val exec :
+  ?coverage:Sage_interp.Coverage.t ->
+  ?trace:Sage_trace.Trace.t ->
+  env:env ->
+  Sage_codegen.Ir.func ->
+  Sage_rfc.Header_diagram.t ->
+  bytes ->
+  (outcome, string) result
+(** [Error _] = structural reject (packet shorter than the layout's
+    fixed header); [Ok outcome] otherwise, with any interpreter
+    [Runtime_error] captured in [outcome.error]. *)

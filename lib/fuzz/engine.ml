@@ -1,0 +1,207 @@
+(* The coverage-guided differential fuzz loop.
+
+   Round-robin over the protocol's generated functions; each iteration
+   draws an environment and a candidate packet (fresh from the layout
+   grammar, or a mutation of a kept corpus entry), executes it under
+   the interpreter with statement-coverage instrumentation, and runs
+   the oracle suite.  Inputs that light up new coverage join the
+   per-function corpus; the first violation per function is shrunk
+   greedily and recorded as a finding.
+
+   The engine is strictly sequential and draws every random value from
+   one splitmix64 stream, so a (seed, iters, protocol) triple produces
+   byte-identical results on every run, platform and --jobs setting. *)
+
+module Ir = Sage_codegen.Ir
+module Coverage = Sage_interp.Coverage
+module Trace = Sage_trace.Trace
+module Metrics = Sage_sched.Metrics
+
+type finding = {
+  fn : string;
+  kind : Oracle.kind;
+  packet : bytes;  (** the triggering input as generated/mutated *)
+  shrunk : bytes;  (** greedily minimized, same oracle still violated *)
+  detail : string;  (** violation detail on the shrunk input *)
+  shrink_steps : int;
+}
+
+type result = {
+  protocol : string;
+  seed : int;
+  iters : int;
+  executions : int;  (** packets that reached the interpreter *)
+  rejected : int;  (** structural rejects (shorter than fixed header) *)
+  corpus : int;  (** inputs kept for new coverage *)
+  findings : finding list;  (** oldest first, at most one per function *)
+  coverage : Coverage.t;
+  funcs : Ir.func list;
+}
+
+let corpus_cap = 32
+
+(* Re-run [packet] and report its violation, if any.  Shrink runs use
+   no coverage sink: coverage counts fuzz iterations only. *)
+let violation_of ~protocol ~env f layout packet =
+  match Driver.exec ~env f layout packet with
+  | Error _ -> None
+  | Ok outcome -> Oracle.check ~protocol ~packet outcome
+
+let shrink_budget = 400
+
+(* Greedy descent: take the first simpler candidate that still violates
+   the same oracle; stop when none does (or the budget runs out). *)
+let shrink ~protocol ~env f layout ~kind packet =
+  let budget = ref shrink_budget in
+  let steps = ref 0 in
+  let cur = ref packet in
+  let detail = ref None in
+  let progress = ref true in
+  while !progress && !budget > 0 do
+    progress := false;
+    let rec try_candidates = function
+      | [] -> ()
+      | c :: rest ->
+        if !budget > 0 then begin
+          decr budget;
+          match violation_of ~protocol ~env f layout c with
+          | Some v when v.Oracle.kind = kind ->
+            cur := c;
+            detail := Some v.Oracle.detail;
+            incr steps;
+            progress := true
+          | _ -> try_candidates rest
+        end
+    in
+    try_candidates (Gen.shrink_candidates !cur)
+  done;
+  (!cur, !detail, !steps)
+
+let run ?trace ?metrics ~seed ~iters ~protocol targets =
+  let rng = Rng.of_seed seed in
+  let coverage = Coverage.create () in
+  let corpus : (string, bytes list) Hashtbl.t = Hashtbl.create 16 in
+  let findings = ref [] in
+  let executions = ref 0 and rejected = ref 0 and interesting = ref 0 in
+  let ntargets = Array.of_list targets in
+  if Array.length ntargets = 0 then invalid_arg "Sage_fuzz.Engine.run: no targets";
+  for i = 0 to iters - 1 do
+    let f, layout = ntargets.(i mod Array.length ntargets) in
+    let fn = f.Ir.fn_name in
+    let env = Driver.env_of rng in
+    let kept = try Hashtbl.find corpus fn with Not_found -> [] in
+    let packet =
+      match kept with
+      | _ :: _ when Rng.int_below rng 4 > 0 ->
+        Gen.mutate rng layout (Rng.pick rng kept)
+      | _ -> Gen.packet rng layout
+    in
+    Trace.with_span ~cat:"fuzz"
+      ~args:[ ("fn", Trace.Str fn); ("iter", Trace.Int i) ]
+      trace "fuzz-iteration"
+      (fun () ->
+        let before = Coverage.covered coverage in
+        match Driver.exec ~coverage ?trace ~env f layout packet with
+        | Error _ -> incr rejected
+        | Ok outcome ->
+          incr executions;
+          let after = Coverage.covered coverage in
+          if after > before then begin
+            incr interesting;
+            Hashtbl.replace corpus fn
+              (packet
+              :: (if List.length kept >= corpus_cap then
+                    List.filteri (fun j _ -> j < corpus_cap - 1) kept
+                  else kept));
+            Trace.instant ~cat:"fuzz"
+              ~args:[ ("fn", Trace.Str fn); ("covered", Trace.Int after) ]
+              trace "coverage-hit"
+          end;
+          if not (List.exists (fun fd -> fd.fn = fn) !findings) then begin
+            match Oracle.check ~protocol ~packet outcome with
+            | None -> ()
+            | Some v ->
+              let shrunk, shrunk_detail, shrink_steps =
+                shrink ~protocol ~env f layout ~kind:v.Oracle.kind packet
+              in
+              let detail =
+                match shrunk_detail with
+                | Some d -> d
+                | None -> v.Oracle.detail
+              in
+              Trace.instant ~cat:"fuzz"
+                ~args:
+                  [ ("fn", Trace.Str fn);
+                    ("oracle", Trace.Str (Oracle.kind_name v.Oracle.kind));
+                  ]
+                trace "finding";
+              findings :=
+                { fn; kind = v.Oracle.kind; packet; shrunk; detail;
+                  shrink_steps }
+                :: !findings
+          end)
+  done;
+  let funcs = List.map fst targets in
+  let covered, points = Coverage.totals coverage funcs in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.incr ~by:iters m "fuzz.iterations";
+    Metrics.incr ~by:!executions m "fuzz.executions";
+    Metrics.incr ~by:!rejected m "fuzz.rejected";
+    Metrics.incr ~by:!interesting m "fuzz.corpus";
+    Metrics.incr ~by:(List.length !findings) m "fuzz.findings";
+    Metrics.incr ~by:covered m "fuzz.coverage.covered";
+    Metrics.incr ~by:points m "fuzz.coverage.points");
+  Trace.counter ~cat:"fuzz" trace "fuzz.coverage.covered" covered;
+  {
+    protocol;
+    seed;
+    iters;
+    executions = !executions;
+    rejected = !rejected;
+    corpus = !interesting;
+    findings = List.rev !findings;
+    coverage;
+    funcs;
+  }
+
+let hex b =
+  String.concat " "
+    (List.init (Bytes.length b) (fun i ->
+         Printf.sprintf "%02x" (Char.code (Bytes.get b i))))
+
+let summary r =
+  let buf = Buffer.create 1024 in
+  let covered, points = Coverage.totals r.coverage r.funcs in
+  let pct =
+    if points = 0 then 100.0
+    else 100.0 *. float_of_int covered /. float_of_int points
+  in
+  Buffer.add_string buf (Printf.sprintf "protocol   : %s\n" r.protocol);
+  Buffer.add_string buf (Printf.sprintf "seed       : %d\n" r.seed);
+  Buffer.add_string buf (Printf.sprintf "iterations : %d\n" r.iters);
+  Buffer.add_string buf (Printf.sprintf "executions : %d\n" r.executions);
+  Buffer.add_string buf (Printf.sprintf "rejected   : %d\n" r.rejected);
+  Buffer.add_string buf (Printf.sprintf "corpus     : %d\n" r.corpus);
+  Buffer.add_string buf
+    (Printf.sprintf "coverage   : %d/%d statements (%.1f%%)\n" covered points
+       pct);
+  List.iter
+    (fun (s : Coverage.fn_stats) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-44s %d/%d\n" s.Coverage.fn s.Coverage.fn_covered
+           s.Coverage.fn_points))
+    (Coverage.stats r.coverage r.funcs);
+  Buffer.add_string buf
+    (Printf.sprintf "findings   : %d\n" (List.length r.findings));
+  List.iter
+    (fun fd ->
+      Buffer.add_string buf
+        (Printf.sprintf "  [%s] %s: %s\n" (Oracle.kind_name fd.kind) fd.fn
+           fd.detail);
+      Buffer.add_string buf
+        (Printf.sprintf "    shrunk packet (%d bytes, %d steps): %s\n"
+           (Bytes.length fd.shrunk) fd.shrink_steps (hex fd.shrunk)))
+    r.findings;
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** The coverage-guided differential fuzz loop: sequential, fully
+    seeded, byte-identical output for a fixed (seed, iters, protocol)
+    on every platform and [--jobs] setting. *)
+
+type finding = {
+  fn : string;
+  kind : Oracle.kind;
+  packet : bytes;
+  shrunk : bytes;
+  detail : string;
+  shrink_steps : int;
+}
+
+type result = {
+  protocol : string;
+  seed : int;
+  iters : int;
+  executions : int;
+  rejected : int;
+  corpus : int;
+  findings : finding list;  (** oldest first, at most one per function *)
+  coverage : Sage_interp.Coverage.t;
+  funcs : Sage_codegen.Ir.func list;
+}
+
+val run :
+  ?trace:Sage_trace.Trace.t ->
+  ?metrics:Sage_sched.Metrics.t ->
+  seed:int ->
+  iters:int ->
+  protocol:string ->
+  (Sage_codegen.Ir.func * Sage_rfc.Header_diagram.t) list ->
+  result
+(** Fuzz the given (function, layout) targets round-robin for [iters]
+    iterations.  Raises [Invalid_argument] on an empty target list.
+    Emits [fuzz-iteration] spans, [coverage-hit] / [finding] instants
+    and a coverage counter to [trace]; bumps [fuzz.*] counters on
+    [metrics]. *)
+
+val shrink :
+  protocol:string ->
+  env:Driver.env ->
+  Sage_codegen.Ir.func ->
+  Sage_rfc.Header_diagram.t ->
+  kind:Oracle.kind ->
+  bytes ->
+  bytes * string option * int
+(** Greedy minimization keeping the same oracle violated: the shrunk
+    packet, the violation detail on it, and the number of accepted
+    shrink steps (bounded budget). *)
+
+val summary : result -> string
+(** Deterministic human-readable report (no wall-clock content). *)

@@ -1,0 +1,132 @@
+(* Grammar-based packet generation: the recovered message layout (the
+   header diagram the pre-processor parsed) is exactly the grammar a
+   protocol fuzzer needs.  Generated packets are structurally valid —
+   every fixed field present, field values boundary-biased — and the
+   mutators are layout-aware: truncation lands on field byte boundaries
+   and checksum corruption targets the recovered checksum field. *)
+
+module Hd = Sage_rfc.Header_diagram
+module Pv = Sage_interp.Packet_view
+
+let mask_of_bits bits =
+  if bits >= 64 then -1L else Int64.sub (Int64.shift_left 1L bits) 1L
+
+(* Boundary-biased field value: zero, one, all-ones, the sign bit and
+   its neighbourhood are each over-represented relative to uniform —
+   the values RFC prose tends to single out ("must be zero", "nonzero",
+   the highest code point). *)
+let field_value rng ~bits =
+  let ones = mask_of_bits bits in
+  match Rng.int_below rng 8 with
+  | 0 -> 0L
+  | 1 -> 1L
+  | 2 -> ones
+  | 3 -> Int64.sub ones 1L
+  | 4 when bits >= 2 -> Int64.shift_left 1L (bits - 1)
+  | _ -> Int64.logand (Rng.next_int64 rng) ones
+
+let data_tail rng =
+  match Rng.int_below rng 4 with
+  | 0 | 1 -> Bytes.empty
+  | _ ->
+    let n = Rng.range rng 1 24 in
+    Bytes.init n (fun _ -> Char.chr (Rng.int_below rng 256))
+
+(* A structurally valid packet for the layout: fixed header fully
+   present, boundary-biased values, sometimes a variable-length tail. *)
+let packet rng (layout : Hd.t) =
+  let v = Pv.create layout in
+  List.iter
+    (fun (f : Hd.field) ->
+      if not f.Hd.variable then
+        match Pv.set v f.Hd.name (field_value rng ~bits:f.Hd.bits) with
+        | Ok () | Error _ -> ())
+    layout.Hd.fields;
+  Pv.set_data v (data_tail rng);
+  Pv.serialize v
+
+(* Byte offsets where a fixed field starts on a byte boundary — the
+   interesting truncation points. *)
+let field_boundaries (layout : Hd.t) =
+  List.filter_map
+    (fun (f : Hd.field) ->
+      if (not f.Hd.variable) && f.Hd.bit_offset mod 8 = 0 then
+        Some (f.Hd.bit_offset / 8)
+      else None)
+    layout.Hd.fields
+
+let checksum_byte (layout : Hd.t) =
+  List.find_map
+    (fun (f : Hd.field) ->
+      if Hd.c_identifier f.Hd.name = "checksum" && not f.Hd.variable then
+        Some (f.Hd.bit_offset / 8)
+      else None)
+    layout.Hd.fields
+
+(* One seeded mutation of [b].  All mutants of a non-empty input are
+   non-empty except field-boundary truncation at offset 0. *)
+let mutate rng (layout : Hd.t) b =
+  let b = Bytes.copy b in
+  let len = Bytes.length b in
+  if len = 0 then packet rng layout
+  else
+    match Rng.int_below rng 6 with
+    | 0 ->
+      (* single bit flip *)
+      let i = Rng.int_below rng len in
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int_below rng 8)));
+      b
+    | 1 ->
+      (* rewrite one byte to a boundary value *)
+      let i = Rng.int_below rng len in
+      Bytes.set b i (Char.chr (Rng.pick rng [ 0x00; 0x01; 0x7f; 0x80; 0xfe; 0xff ]));
+      b
+    | 2 ->
+      (* field-boundary truncation *)
+      let cuts = List.filter (fun o -> o < len) (field_boundaries layout) in
+      let cut = match cuts with [] -> Rng.int_below rng len | _ -> Rng.pick rng cuts in
+      Bytes.sub b 0 cut
+    | 3 ->
+      (* checksum corruption: step the recovered checksum field (or the
+         last byte when the layout has none) so near-valid packets with
+         a just-wrong checksum are common *)
+      let i =
+        match checksum_byte layout with
+        | Some o when o + 1 < len -> o + 1
+        | _ -> len - 1
+      in
+      Bytes.set b i (Char.chr ((Char.code (Bytes.get b i) + 1) land 0xff));
+      b
+    | 4 ->
+      (* append a small tail *)
+      Bytes.cat b (Bytes.init (Rng.range rng 1 8) (fun _ -> Char.chr (Rng.int_below rng 256)))
+    | _ ->
+      (* splice a freshly generated packet's prefix over this one *)
+      let fresh = packet rng layout in
+      let n = min (Bytes.length fresh) len in
+      let k = if n = 0 then 0 else Rng.int_below rng (n + 1) in
+      Bytes.blit fresh 0 b 0 k;
+      b
+
+(* Greedy shrinking candidates: strictly simpler packets, best first —
+   the same halving/minus-one/zeroing ladder as qcheck_lite's bytes. *)
+let shrink_candidates b =
+  let n = Bytes.length b in
+  if n = 0 then []
+  else
+    let cands =
+      (if n >= 2 then [ Bytes.sub b 0 (n / 2) ] else [])
+      @ [ Bytes.sub b 0 (n - 1) ]
+      @ (if Bytes.exists (fun c -> c <> '\000') b then [ Bytes.make n '\000' ] else [])
+      @ (let zeroed = ref [] in
+         for i = n - 1 downto 0 do
+           if Bytes.get b i <> '\000' then begin
+             let c = Bytes.copy b in
+             Bytes.set c i '\000';
+             zeroed := c :: !zeroed
+           end
+         done;
+         !zeroed)
+    in
+    List.filter (fun c -> c <> b) cands

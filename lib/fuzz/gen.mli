@@ -1,0 +1,24 @@
+(** Grammar-based packet generation over recovered message layouts, plus
+    layout-aware seeded mutations and shrinking candidates. *)
+
+val field_value : Rng.t -> bits:int -> int64
+(** Boundary-biased value for a field of the given bit width (zero, one,
+    all-ones and the sign bit are over-represented). *)
+
+val packet : Rng.t -> Sage_rfc.Header_diagram.t -> bytes
+(** A structurally valid packet: every fixed field of the layout
+    present with a boundary-biased value, sometimes a random tail. *)
+
+val field_boundaries : Sage_rfc.Header_diagram.t -> int list
+(** Byte offsets where byte-aligned fixed fields start. *)
+
+val checksum_byte : Sage_rfc.Header_diagram.t -> int option
+(** Byte offset of the layout's checksum field, when it has one. *)
+
+val mutate : Rng.t -> Sage_rfc.Header_diagram.t -> bytes -> bytes
+(** One seeded mutation: bit flip, boundary byte, field-boundary
+    truncation, checksum corruption, tail append or prefix splice. *)
+
+val shrink_candidates : bytes -> bytes list
+(** Strictly simpler candidates, best first (halve, drop last byte,
+    zero everything, zero one byte). *)

@@ -1,0 +1,140 @@
+(* The differential oracle suite.  Each oracle states an invariant the
+   generated code must satisfy on *every* input; a violation is a
+   finding.  Checks run in a fixed order and stop at the first
+   violation, so a given (function, packet, env) yields a deterministic
+   single verdict.
+
+   - Never_raise: the interpreter must discard or finish, never raise a
+     runtime error or exhaust the step budget.
+   - Round_trip: deserialize-then-serialize is the identity on the
+     bytes the layout covers (encode . decode = id).
+   - Decoder_agreement: on packets both sides accept, every field the
+     hand-written reference decoder reports must equal what the
+     interpreter's packet view read from the same bytes.
+   - Checksum: when the generated function assigns the protocol
+     checksum and did not discard, the produced message must verify
+     under the reference Internet-checksum (whole-message range — the
+     interoperable interpretation of the paper's §2.1 ambiguity).
+   - Verified_output: a produced ICMP message the reference decoder
+     accepts must also pass its checksum verification (the generated
+     sender must not emit near-valid-but-corrupt messages). *)
+
+module Pv = Sage_interp.Packet_view
+module Checksum = Sage_net.Checksum
+module Observe = Sage_net.Observe
+module Icmp = Sage_net.Icmp
+
+type kind =
+  | Never_raise
+  | Round_trip
+  | Decoder_agreement
+  | Checksum
+  | Verified_output
+
+let kind_name = function
+  | Never_raise -> "never-raise"
+  | Round_trip -> "round-trip"
+  | Decoder_agreement -> "decoder-agreement"
+  | Checksum -> "checksum"
+  | Verified_output -> "verified-output"
+
+type violation = { kind : kind; detail : string }
+
+let hex b =
+  String.concat " "
+    (List.init (Bytes.length b) (fun i ->
+         Printf.sprintf "%02x" (Char.code (Bytes.get b i))))
+
+(* Protocols whose generated checksum covers the whole message, so the
+   reference whole-message verify applies.  (BFD/BGP layouts have no
+   checksum; NTP delegates to the UDP encapsulation.) *)
+let whole_message_checksum = [ "ICMP"; "IGMP"; "TCP" ]
+
+let check_never_raise (o : Driver.outcome) =
+  match o.Driver.error with
+  | Some e -> Some { kind = Never_raise; detail = e }
+  | None -> None
+
+let check_round_trip ~packet (o : Driver.outcome) =
+  let reserialized = Pv.serialize o.Driver.view in
+  if Bytes.equal reserialized packet then None
+  else
+    Some
+      {
+        kind = Round_trip;
+        detail =
+          Printf.sprintf "decode/encode not identity: in [%s] out [%s]"
+            (hex packet) (hex reserialized);
+      }
+
+let check_decoder_agreement ~protocol ~packet (o : Driver.outcome) =
+  match Observe.fields ~protocol packet with
+  | None -> None (* reference decoder rejected or absent: one-sided *)
+  | Some observations ->
+    List.find_map
+      (fun (name, expected) ->
+        match Pv.get o.Driver.view name with
+        | Error _ -> None (* field not in this function's layout *)
+        | Ok got ->
+          if Int64.equal got expected then None
+          else
+            Some
+              {
+                kind = Decoder_agreement;
+                detail =
+                  Printf.sprintf
+                    "field %s: reference decoder read %Ld, interpreter view \
+                     read %Ld"
+                    name expected got;
+              })
+      observations
+
+let check_checksum ~protocol (o : Driver.outcome) =
+  if
+    o.Driver.assigns_checksum
+    && (not o.Driver.discarded)
+    && List.mem protocol whole_message_checksum
+    && not (Checksum.verify o.Driver.output)
+  then
+    Some
+      {
+        kind = Checksum;
+        detail =
+          Printf.sprintf "produced message fails checksum verification: [%s]"
+            (hex o.Driver.output);
+      }
+  else None
+
+let check_verified_output ~protocol (o : Driver.outcome) =
+  (* ICMP only: its reference checksum_ok covers the whole message.
+     (IGMP's checksum_ok verifies just the 8 header bytes, which a
+     variable tail would legitimately break.) *)
+  if protocol = "ICMP" && not o.Driver.discarded then
+    match Icmp.decode o.Driver.output with
+    | Error _ -> None
+    | Ok _ ->
+      if Icmp.checksum_ok o.Driver.output then None
+      else
+        Some
+          {
+            kind = Verified_output;
+            detail =
+              Printf.sprintf
+                "decodable ICMP output fails checksum verification: [%s]"
+                (hex o.Driver.output);
+          }
+  else None
+
+let check ~protocol ~packet (o : Driver.outcome) =
+  match check_never_raise o with
+  | Some v -> Some v
+  | None -> (
+    match check_round_trip ~packet o with
+    | Some v -> Some v
+    | None -> (
+      match check_decoder_agreement ~protocol ~packet o with
+      | Some v -> Some v
+      | None -> (
+        match check_checksum ~protocol o with
+        | Some v -> Some v
+        | None -> check_verified_output ~protocol o)))

@@ -1,0 +1,22 @@
+(** Differential oracle suite: invariants every generated function must
+    satisfy on every input.  Checks run in a fixed order and stop at
+    the first violation, so one (function, packet, environment) triple
+    yields one deterministic verdict. *)
+
+type kind =
+  | Never_raise  (** no interpreter runtime error / budget exhaustion *)
+  | Round_trip  (** serialize (deserialize p) = p *)
+  | Decoder_agreement
+      (** reference decoder and interpreter view agree on input fields *)
+  | Checksum  (** produced message verifies (whole-message range) *)
+  | Verified_output
+      (** decodable ICMP output also passes checksum verification *)
+
+val kind_name : kind -> string
+
+type violation = { kind : kind; detail : string }
+
+val check :
+  protocol:string -> packet:bytes -> Driver.outcome -> violation option
+(** First violated oracle for this execution, if any.  [protocol] is
+    the uppercase spec name ("ICMP", "BFD", ...). *)

@@ -1,0 +1,34 @@
+(* Splitmix64: 64-bit state, one multiply-xorshift chain per draw.
+   Promoted out of test/qcheck_lite.ml so library code (the fuzzer) and
+   the property harness share one deterministic stream — independent of
+   the stdlib Random module, whose sequence changed across OCaml
+   versions and is domain-local on OCaml 5. *)
+
+type t = { mutable state : int64 }
+
+let of_seed seed =
+  (* avoid the all-zero fixed point and decorrelate small seeds *)
+  { state = Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Sage_fuzz.Rng.int_below";
+  Int64.to_int (Int64.rem (Int64.logand (next_int64 t) Int64.max_int) (Int64.of_int n))
+
+let range t lo hi = lo + int_below t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t xs = List.nth xs (int_below t (List.length xs))
+
+let split t = of_seed (Int64.to_int (next_int64 t))

@@ -1,0 +1,20 @@
+(** Seeded deterministic PRNG (splitmix64), shared by the fuzzer and the
+    property-test harness.  Fixed seed => identical draw sequence on
+    every compiler and platform the repo supports. *)
+
+type t
+
+val of_seed : int -> t
+val next_int64 : t -> int64
+
+val int_below : t -> int -> int
+(** Uniform in [\[0, n)].  Raises [Invalid_argument] when [n <= 0]. *)
+
+val range : t -> int -> int -> int
+(** Uniform in [\[lo, hi\]] (inclusive). *)
+
+val bool : t -> bool
+val pick : t -> 'a list -> 'a
+
+val split : t -> t
+(** Derive an independent stream (consumes one draw from the parent). *)

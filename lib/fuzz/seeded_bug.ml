@@ -1,0 +1,29 @@
+(* A deterministic seeded bug for exercising the whole fuzz loop: take
+   the generated IR and replace one function's computed checksum with a
+   constant.  The Checksum oracle then fails on (effectively) every
+   executed packet, the finding shrinks to a minimal input, and the
+   fixture asserts exactly one finding comes back. *)
+
+module Ir = Sage_codegen.Ir
+
+let default_target = "icmp_echo_reply_receiver"
+
+let rec tamper_stmts stmts =
+  List.map
+    (fun stmt ->
+      match stmt with
+      | Ir.Assign ((Ir.Lfield (Ir.Proto, "checksum") as lv), Ir.Call _) ->
+        (* keep the `checksum = 0` zeroing assignment; break only the
+           computed one *)
+        Ir.Assign (lv, Ir.Int 0x1234)
+      | Ir.If (c, then_, else_) ->
+        Ir.If (c, tamper_stmts then_, tamper_stmts else_)
+      | s -> s)
+    stmts
+
+let tamper_checksum ~fn funcs =
+  List.map
+    (fun (f : Ir.func) ->
+      if f.Ir.fn_name = fn then { f with Ir.body = tamper_stmts f.Ir.body }
+      else f)
+    funcs

@@ -1,0 +1,12 @@
+(** Deterministic mutated-IR fixture: breaks one function's computed
+    checksum (replacing the [Call] right-hand side with a constant) so
+    the fuzzer provably finds, shrinks and reports exactly one
+    Checksum-oracle violation. *)
+
+val default_target : string
+(** ["icmp_echo_reply_receiver"]. *)
+
+val tamper_checksum :
+  fn:string -> Sage_codegen.Ir.func list -> Sage_codegen.Ir.func list
+(** Replace the computed checksum assignment in [fn] with
+    [checksum = 0x1234]; all other functions unchanged. *)

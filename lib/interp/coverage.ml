@@ -1,0 +1,80 @@
+(* IR statement coverage: a counter map keyed by (function name, stable
+   pre-order statement id).  Threaded through the interpreter the same
+   way as tracing — a [t option] in the runtime, [None] meaning zero
+   overhead — so the fuzzer can keep mutants that reach new statements.
+
+   Comments receive ids (the numbering is shape-derived, see
+   [Ir.numbered_stmts]) but are not executable: they are excluded from
+   the denominator and the interpreter never records a hit for one. *)
+
+module Ir = Sage_codegen.Ir
+
+type t = { hits : (string * int, int) Hashtbl.t }
+
+let create () = { hits = Hashtbl.create 256 }
+
+let hit t ~fn ~id =
+  let key = (fn, id) in
+  Hashtbl.replace t.hits key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.hits key))
+
+let hit_count t ~fn ~id =
+  Option.value ~default:0 (Hashtbl.find_opt t.hits (fn, id))
+
+let covered t = Hashtbl.length t.hits
+
+(* The executable points of a function: every pre-order id except
+   comments'.  This is the universe the interpreter can actually hit. *)
+let points (f : Ir.func) =
+  List.filter_map
+    (fun (id, s) ->
+      match (s : Ir.stmt) with Ir.Comment _ -> None | _ -> Some id)
+    (Ir.numbered_stmts f.Ir.body)
+
+type fn_stats = { fn : string; fn_covered : int; fn_points : int }
+
+let stats t (funcs : Ir.func list) =
+  List.map
+    (fun (f : Ir.func) ->
+      let ids = points f in
+      let hit_ids =
+        List.filter (fun id -> hit_count t ~fn:f.Ir.fn_name ~id > 0) ids
+      in
+      { fn = f.Ir.fn_name; fn_covered = List.length hit_ids;
+        fn_points = List.length ids })
+    (List.sort (fun a b -> compare a.Ir.fn_name b.Ir.fn_name) funcs)
+
+let totals t funcs =
+  List.fold_left
+    (fun (c, p) s -> (c + s.fn_covered, p + s.fn_points))
+    (0, 0) (stats t funcs)
+
+(* Stable JSON rendering: functions sorted by name, ids ascending, so
+   the --coverage-out artifact diffs cleanly across runs. *)
+let to_json t (funcs : Ir.func list) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"functions\": {\n";
+  let fns = List.sort (fun a b -> compare a.Ir.fn_name b.Ir.fn_name) funcs in
+  List.iteri
+    (fun i (f : Ir.func) ->
+      let ids = points f in
+      let hit_ids = List.filter (fun id -> hit_count t ~fn:f.Ir.fn_name ~id > 0) ids in
+      Buffer.add_string buf
+        (Printf.sprintf "    %S: {\"covered\": %d, \"points\": %d, \"hits\": {"
+           f.Ir.fn_name (List.length hit_ids) (List.length ids));
+      List.iteri
+        (fun j id ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s\"%d\": %d"
+               (if j = 0 then "" else ", ")
+               id
+               (hit_count t ~fn:f.Ir.fn_name ~id)))
+        hit_ids;
+      Buffer.add_string buf
+        (Printf.sprintf "}}%s\n" (if i = List.length fns - 1 then "" else ",")))
+    fns;
+  let covered, total = totals t funcs in
+  Buffer.add_string buf
+    (Printf.sprintf "  },\n  \"covered\": %d,\n  \"points\": %d\n}\n" covered
+       total);
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** IR statement coverage: counters keyed by (function name, stable
+    pre-order statement id — see {!Sage_codegen.Ir.numbered_stmts}).
+    Threaded through the interpreter as a [t option] exactly like
+    tracing, so untraced execution pays nothing.  Comments are numbered
+    but never executable: they neither count as points nor get hits. *)
+
+type t
+
+val create : unit -> t
+
+val hit : t -> fn:string -> id:int -> unit
+(** Record one execution of statement [id] of function [fn]. *)
+
+val hit_count : t -> fn:string -> id:int -> int
+
+val covered : t -> int
+(** Number of distinct (function, id) points hit so far — the fuzzer's
+    "did this mutant reach anything new" signal. *)
+
+val points : Sage_codegen.Ir.func -> int list
+(** The executable statement ids of a function (comments excluded). *)
+
+type fn_stats = { fn : string; fn_covered : int; fn_points : int }
+
+val stats : t -> Sage_codegen.Ir.func list -> fn_stats list
+(** Per-function covered/total, sorted by function name. *)
+
+val totals : t -> Sage_codegen.Ir.func list -> int * int
+(** (covered, total executable points) over a function set. *)
+
+val to_json : t -> Sage_codegen.Ir.func list -> string
+(** Deterministic JSON artifact: functions sorted by name, hit ids
+    ascending with their counters. *)

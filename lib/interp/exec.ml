@@ -208,18 +208,29 @@ and eval_call rt fn args =
       checksum_outgoing rt ~checksum_field:(String.sub fn 10 (String.length fn - 10))
     else fail "unknown framework function %S/%d" fn (List.length args)
 
-let rec run_stmts rt stmts =
+(* Statements carry stable pre-order ids (see [Ir.numbered_stmts]):
+   [base] is the id of the first statement of [stmts].  The coverage
+   sink, when present, records a hit per executed non-comment statement
+   under (fn, id) — the same [t option] no-op pattern as tracing. *)
+let rec run_stmts_at rt ~fn ~base stmts =
   match stmts with
   | [] -> ()
   | _ when rt.Rt.discarded -> ()
   | stmt :: rest ->
     check_budget rt;
+    (match rt.Rt.coverage with
+     | Some cov ->
+       (match stmt with
+        | Ir.Comment _ -> ()
+        | _ -> Coverage.hit cov ~fn ~id:base)
+     | None -> ());
     (match stmt with
      | Ir.Assign (Ir.Lfield (l, f), e) -> write_field rt l f (eval_expr rt e)
      | Ir.Assign (Ir.Lvar v, e) -> Rt.set_param rt v (eval_expr rt e)
      | Ir.If (c, then_, else_) ->
-       if Rt.int_of_value (eval_expr rt c) <> 0L then run_stmts rt then_
-       else run_stmts rt else_
+       if Rt.int_of_value (eval_expr rt c) <> 0L then
+         run_stmts_at rt ~fn ~base:(base + 1) then_
+       else run_stmts_at rt ~fn ~base:(base + 1 + Ir.extent then_) else_
      | Ir.Do e -> ignore (eval_expr rt e)
      | Ir.Discard ->
        rt.Rt.discarded <- true;
@@ -230,11 +241,13 @@ let rec run_stmts rt stmts =
          ~args:[ ("message", Sage_trace.Trace.Str m) ]
          rt.Rt.trace "send"
      | Ir.Comment _ -> ());
-    run_stmts rt rest
+    run_stmts_at rt ~fn ~base:(base + Ir.stmt_extent stmt) rest
+
+let run_stmts rt stmts = run_stmts_at rt ~fn:"" ~base:0 stmts
 
 let run_func rt (f : Ir.func) =
   Sage_trace.Trace.with_span ~cat:"interp"
     ~args:[ ("fn", Sage_trace.Trace.Str f.Ir.fn_name) ]
     rt.Rt.trace
     ("exec:" ^ f.Ir.fn_name)
-    (fun () -> run_stmts rt f.Ir.body)
+    (fun () -> run_stmts_at rt ~fn:f.Ir.fn_name ~base:0 f.Ir.body)

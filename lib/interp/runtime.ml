@@ -21,6 +21,7 @@ type t = {
   step_budget : int;
   mutable steps : int;
   trace : Sage_trace.Trace.t option;
+  coverage : Coverage.t option;
 }
 
 let ip_info ?(ttl = 64) ?(tos = 0) ~src ~dst () = { src; dst; ttl; tos }
@@ -28,7 +29,7 @@ let ip_info ?(ttl = 64) ?(tos = 0) ~src ~dst () = { src; dst; ttl; tos }
 let default_step_budget = 100_000
 
 let create ?request ?request_ip ?(params = []) ?(state = [])
-    ?(step_budget = default_step_budget) ?trace ~proto ~ip () =
+    ?(step_budget = default_step_budget) ?trace ?coverage ~proto ~ip () =
   let param_tbl = Hashtbl.create 16 in
   List.iter (fun (k, v) -> Hashtbl.replace param_tbl k v) params;
   let state_tbl = Hashtbl.create 16 in
@@ -47,6 +48,7 @@ let create ?request ?request_ip ?(params = []) ?(state = [])
     step_budget;
     steps = 0;
     trace;
+    coverage;
   }
 
 (* true when this step is still within budget; exec turns false into a

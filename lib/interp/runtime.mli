@@ -28,6 +28,9 @@ type t = {
   trace : Sage_trace.Trace.t option;
       (** structured-event sink: {!Exec} emits an [exec:<fn>] span per
           function and [send] / [discard] instants against it *)
+  coverage : Coverage.t option;
+      (** statement-coverage sink: {!Exec} records a hit per executed
+          statement, keyed by the stable pre-order id ([None] = no-op) *)
 }
 
 val default_step_budget : int
@@ -41,6 +44,7 @@ val create :
   ?state:(string * int64) list ->
   ?step_budget:int ->
   ?trace:Sage_trace.Trace.t ->
+  ?coverage:Coverage.t ->
   proto:Packet_view.t ->
   ip:ip_info ->
   unit ->

@@ -1,0 +1,115 @@
+(* Typed-decoder observations for differential fuzzing: decode a raw
+   packet with the hand-written reference codec and report the header
+   fields it recovered, keyed by the *layout* identifiers the recovered
+   header diagrams use (Header_diagram.c_identifier).  The fuzzer
+   compares these against the interpreter's packet view — any mismatch
+   is a decoder/interpreter disagreement finding.
+
+   Only fields both sides can name are reported; the reference records
+   (e.g. [Icmp.echo]) drop the checksum, so it is not observed here. *)
+
+let u32 (v : int32) = Int64.logand (Int64.of_int32 v) 0xFFFF_FFFFL
+let u8 v = Int64.of_int (v land 0xff)
+let u16 v = Int64.of_int (v land 0xffff)
+let b01 b = if b then 1L else 0L
+
+let icmp b =
+  match Icmp.decode b with
+  | Error _ -> None
+  | Ok m ->
+    let base =
+      [ ("type", u8 (Icmp.type_of m)); ("code", u8 (Icmp.code_of m)) ]
+    in
+    let rest =
+      match m with
+      | Icmp.Echo e | Icmp.Echo_reply e ->
+        [ ("identifier", u16 e.Icmp.identifier);
+          ("sequence_number", u16 e.Icmp.sequence);
+        ]
+      | Icmp.Destination_unreachable _ | Icmp.Source_quench _
+      | Icmp.Time_exceeded _ ->
+        []
+      | Icmp.Redirect r ->
+        [ ("gateway_internet_address", u32 (Addr.to_int32 r.Icmp.gateway)) ]
+      | Icmp.Parameter_problem p -> [ ("pointer", u8 p.Icmp.pointer) ]
+      | Icmp.Timestamp t | Icmp.Timestamp_reply t ->
+        [ ("identifier", u16 t.Icmp.ts_identifier);
+          ("sequence_number", u16 t.Icmp.ts_sequence);
+          ("originate_timestamp", u32 t.Icmp.originate);
+          ("receive_timestamp", u32 t.Icmp.receive);
+          ("transmit_timestamp", u32 t.Icmp.transmit);
+        ]
+      | Icmp.Information_request i | Icmp.Information_reply i ->
+        [ ("identifier", u16 i.Icmp.info_identifier);
+          ("sequence_number", u16 i.Icmp.info_sequence);
+        ]
+    in
+    Some (base @ rest)
+
+let igmp b =
+  match Igmp.decode b with
+  | Error _ -> None
+  | Ok m ->
+    let kind_code =
+      match m.Igmp.kind with
+      | Igmp.Host_membership_query -> 1
+      | Igmp.Host_membership_report -> 2
+    in
+    Some
+      [ ("version", u8 m.Igmp.version);
+        ("type", u8 kind_code);
+        ("group_address", u32 (Addr.to_int32 m.Igmp.group));
+      ]
+
+let ntp b =
+  match Ntp.decode b with
+  | Error _ -> None
+  | Ok m ->
+    Some
+      [ ("li", u8 m.Ntp.leap_indicator);
+        ("status", u8 m.Ntp.status);
+        ("stratum", u8 m.Ntp.stratum);
+        (* layout fields are unsigned; the record re-signs poll/precision *)
+        ("poll", u8 m.Ntp.poll);
+        ("precision", u8 m.Ntp.precision);
+        ("synchronizing_distance", u32 m.Ntp.sync_distance);
+        ("estimated_drift_rate", u32 m.Ntp.drift_rate);
+        ("reference_clock_identifier", u32 m.Ntp.reference_clock_id);
+        ("reference_timestamp", m.Ntp.reference_timestamp);
+        ("originate_timestamp", m.Ntp.originate_timestamp);
+        ("receive_timestamp", m.Ntp.receive_timestamp);
+        ("transmit_timestamp", m.Ntp.transmit_timestamp);
+      ]
+
+let bfd b =
+  match Bfd.decode b with
+  | Error _ -> None
+  | Ok p ->
+    Some
+      [ ("vers", u8 p.Bfd.version);
+        ("diag", u8 p.Bfd.diag);
+        ("sta", u8 (Bfd.state_code p.Bfd.state));
+        ("p", b01 p.Bfd.poll);
+        ("f", b01 p.Bfd.final);
+        ("c", b01 p.Bfd.control_plane_independent);
+        ("a", b01 p.Bfd.authentication_present);
+        ("d", b01 p.Bfd.demand);
+        ("m", b01 p.Bfd.multipoint);
+        ("detect_mult", u8 p.Bfd.detect_mult);
+        (* the packet record has no length field; the decoder validated
+           byte 3 against the actual length, so observe it directly *)
+        ("length", u8 (Char.code (Bytes.get b 3)));
+        ("my_discriminator", u32 p.Bfd.my_discriminator);
+        ("your_discriminator", u32 p.Bfd.your_discriminator);
+        ("desired_min_tx_interval", u32 p.Bfd.desired_min_tx);
+        ("required_min_rx_interval", u32 p.Bfd.required_min_rx);
+        ("required_min_echo_rx_interval", u32 p.Bfd.required_min_echo_rx);
+      ]
+
+let fields ~protocol b =
+  match protocol with
+  | "ICMP" -> icmp b
+  | "IGMP" -> igmp b
+  | "NTP" -> ntp b
+  | "BFD" -> bfd b
+  | _ -> None (* no independent typed decoder for TCP / BGP *)

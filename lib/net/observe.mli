@@ -1,0 +1,12 @@
+(** Typed-decoder observations for differential fuzzing: what the
+    hand-written reference codecs recover from a raw packet, keyed by
+    the {e layout} field identifiers ({!Sage_rfc.Header_diagram}'s
+    [c_identifier]) so the fuzzer can compare them field-by-field
+    against the interpreter's packet view. *)
+
+val fields : protocol:string -> bytes -> (string * int64) list option
+(** [fields ~protocol b] is [Some observations] when the protocol has a
+    typed reference decoder ("ICMP", "IGMP", "NTP", "BFD") and it
+    accepts [b]; [None] when the decoder rejects the packet or the
+    protocol has no reference decoder (TCP, BGP).  Values are the raw
+    unsigned field contents (32-bit fields zero-extended). *)

@@ -1,38 +1,20 @@
 (* A minimal property-based testing harness: seeded deterministic
    generators plus greedy counterexample shrinking, packaged as Alcotest
-   cases.  Self-contained on purpose — no dependency beyond Alcotest —
-   so property suites run on any compiler the repo supports and the
-   fixed seed makes every CI run replay the same cases.
+   cases.  The fixed seed makes every CI run replay the same cases.
 
-   The PRNG is splitmix64: 64-bit state, one multiply-xorshift chain
-   per draw, independent of the stdlib Random module (whose sequence
-   changed across OCaml versions and is domain-local on OCaml 5). *)
+   The PRNG (splitmix64) lives in Sage_fuzz.Rng — one deterministic
+   stream shared with the fuzzer, independent of the stdlib Random
+   module (whose sequence changed across OCaml versions and is
+   domain-local on OCaml 5). *)
 
-type rand = { mutable state : int64 }
+type rand = Sage_fuzz.Rng.t
 
-let rand_of_seed seed =
-  (* avoid the all-zero fixed point and decorrelate small seeds *)
-  { state = Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L }
-
-let next_int64 r =
-  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
-  let z = r.state in
-  let z =
-    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
-  in
-  let z =
-    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
-  in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-let int_below r n =
-  if n <= 0 then invalid_arg "Qcheck_lite.int_below";
-  Int64.to_int (Int64.rem (Int64.logand (next_int64 r) Int64.max_int) (Int64.of_int n))
-
-let gen_range r lo hi = lo + int_below r (hi - lo + 1)
-let gen_bool r = Int64.logand (next_int64 r) 1L = 1L
-
-let pick r xs = List.nth xs (int_below r (List.length xs))
+let rand_of_seed = Sage_fuzz.Rng.of_seed
+let next_int64 = Sage_fuzz.Rng.next_int64
+let int_below = Sage_fuzz.Rng.int_below
+let gen_range = Sage_fuzz.Rng.range
+let gen_bool = Sage_fuzz.Rng.bool
+let pick = Sage_fuzz.Rng.pick
 
 (* ------------------------------------------------------------------ *)
 (* Arbitraries: generator + shrinker + printer.                        *)
@@ -255,3 +237,40 @@ let run_prop ?(count = 200) ?(seed = default_seed) name arb prop () =
 
 let test ?count ?seed name arb prop =
   Alcotest.test_case name `Quick (run_prop ?count ?seed name arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Stateful (state-machine) properties: generate command sequences     *)
+(* against a pure model, shrink failing sequences by dropping/halving  *)
+(* commands.  The system under test is exercised inside [prop], which  *)
+(* receives the full command list and replays it from scratch — so     *)
+(* shrunk candidates are self-contained runs, not suffixes.            *)
+(* ------------------------------------------------------------------ *)
+
+type ('cmd, 'model) machine = {
+  init_model : 'model;
+  gen_cmd : 'model -> rand -> 'cmd;
+      (* model-aware generation: enables/biases commands by state *)
+  step_model : 'model -> 'cmd -> 'model;
+  print_cmd : 'cmd -> string;
+}
+
+let commands ?(max_len = 12) m =
+  {
+    gen =
+      (fun r ->
+        let n = gen_range r 0 max_len in
+        let rec go model acc k =
+          if k = 0 then List.rev acc
+          else
+            let c = m.gen_cmd model r in
+            go (m.step_model model c) (c :: acc) (k - 1)
+        in
+        go m.init_model [] n);
+    (* command shrinks would need re-generation context; drop/halve the
+       sequence instead, which is what isolates a minimal trigger *)
+    shrink = (fun l -> shrink_list (fun _ -> []) l);
+    print = (fun l -> "[" ^ String.concat "; " (List.map m.print_cmd l) ^ "]");
+  }
+
+let test_machine ?count ?seed ?max_len name m prop =
+  test ?count ?seed name (commands ?max_len m) prop

@@ -1,0 +1,113 @@
+(* CLI argument handling, exercised against the real binary: usage
+   errors (unknown flags, malformed values, unknown subcommands) must
+   exit 2 with usage text on stderr and never a backtrace, and the
+   fuzz verb must be deterministic and report through exit codes. *)
+
+(* the CLI binary sits next to the test executable in _build/default;
+   resolve it relative to our own path so the suite is cwd-independent *)
+let cli =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "sage_cli.exe"))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* run the binary through /bin/sh, capturing exit code, stdout, stderr *)
+let run_cli args =
+  let out = Filename.temp_file "sage_cli" ".out" in
+  let err = Filename.temp_file "sage_cli" ".err" in
+  let code = Sys.command (Printf.sprintf "%s %s >%s 2>%s" cli args out err) in
+  let stdout = read_file out and stderr = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, stdout, stderr)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let expect_usage_error name args =
+  let code, _out, err = run_cli args in
+  checki (name ^ ": exit 2") 2 code;
+  checkb (name ^ ": usage text on stderr") true
+    (contains err "Usage" || contains err "usage");
+  checkb (name ^ ": no backtrace") false
+    (contains err "Raised at" || contains err "Backtrace")
+
+let test_unknown_flag_fuzz () = expect_usage_error "fuzz" "fuzz --definitely-not-a-flag"
+let test_unknown_flag_run () = expect_usage_error "run" "run --definitely-not-a-flag"
+let test_unknown_flag_analyze () =
+  expect_usage_error "analyze" "analyze --definitely-not-a-flag"
+let test_unknown_flag_report () =
+  expect_usage_error "report" "report --definitely-not-a-flag"
+
+let test_malformed_seed () = expect_usage_error "fuzz seed" "fuzz --seed pancake"
+let test_malformed_iters () = expect_usage_error "fuzz iters" "fuzz --iters x2"
+let test_malformed_jobs () = expect_usage_error "report jobs" "report --jobs many"
+let test_malformed_protocol () =
+  expect_usage_error "fuzz protocol" "fuzz -p not-a-protocol"
+let test_unknown_subcommand () = expect_usage_error "subcommand" "frobnicate"
+
+let test_help_exits_zero () =
+  let code, out, _err = run_cli "fuzz --help" in
+  checki "help exit 0" 0 code;
+  checkb "help describes the verb" true (contains out "fuzz")
+
+let test_fuzz_clean_run () =
+  let code, out, _err = run_cli "fuzz --seed 42 --iters 150" in
+  checki "clean fuzz exits 0" 0 code;
+  checkb "summary on stdout" true (contains out "protocol   : ICMP");
+  checkb "zero findings" true (contains out "findings   : 0")
+
+let test_fuzz_seeded_bug_exit () =
+  let code, out, _err = run_cli "fuzz --seed 42 --iters 300 --seeded-bug" in
+  checki "findings exit 1" 1 code;
+  checkb "one finding reported" true (contains out "findings   : 1")
+
+let test_fuzz_deterministic_across_jobs () =
+  let c1, out1, _ = run_cli "fuzz --seed 42 --iters 300" in
+  let c2, out2, _ = run_cli "fuzz --seed 42 --iters 300 --jobs 4" in
+  checki "both exit 0 (a)" 0 c1;
+  checki "both exit 0 (b)" 0 c2;
+  Alcotest.check Alcotest.string "byte-identical across --jobs" out1 out2
+
+let test_fuzz_coverage_out () =
+  let file = Filename.temp_file "sage_cov" ".json" in
+  let code, _out, _err =
+    run_cli (Printf.sprintf "fuzz --seed 42 --iters 150 --coverage-out %s" file)
+  in
+  checki "exit 0" 0 code;
+  let json = read_file file in
+  Sys.remove file;
+  checkb "coverage json has functions" true (contains json "\"functions\"");
+  checkb "coverage json has totals" true (contains json "\"points\"")
+
+let suite =
+  [
+    Alcotest.test_case "unknown flag: fuzz" `Quick test_unknown_flag_fuzz;
+    Alcotest.test_case "unknown flag: run" `Quick test_unknown_flag_run;
+    Alcotest.test_case "unknown flag: analyze" `Quick test_unknown_flag_analyze;
+    Alcotest.test_case "unknown flag: report" `Quick test_unknown_flag_report;
+    Alcotest.test_case "malformed --seed" `Quick test_malformed_seed;
+    Alcotest.test_case "malformed --iters" `Quick test_malformed_iters;
+    Alcotest.test_case "malformed --jobs" `Quick test_malformed_jobs;
+    Alcotest.test_case "malformed --protocol" `Quick test_malformed_protocol;
+    Alcotest.test_case "unknown subcommand" `Quick test_unknown_subcommand;
+    Alcotest.test_case "--help exits 0" `Quick test_help_exits_zero;
+    Alcotest.test_case "fuzz: clean run exits 0" `Slow test_fuzz_clean_run;
+    Alcotest.test_case "fuzz: seeded bug exits 1" `Slow test_fuzz_seeded_bug_exit;
+    Alcotest.test_case "fuzz: identical across --jobs" `Slow
+      test_fuzz_deterministic_across_jobs;
+    Alcotest.test_case "fuzz: --coverage-out json" `Slow test_fuzz_coverage_out;
+  ]

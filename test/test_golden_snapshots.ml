@@ -66,11 +66,26 @@ let test_analysis_snapshot c () =
    | Error e -> Alcotest.failf "%s analysis json malformed: %s" c.C.name e);
   compare_snapshot (c.C.name ^ ".analysis.json") json
 
+(* The text trace sink under --trace-clock logical --jobs 1 is
+   byte-deterministic, so it snapshots like any other artifact: any
+   change to span structure, event names or the renderer shows up as a
+   diff here. *)
+let test_trace_text_snapshot c () =
+  let _run, trace = C.traced_run_of c in
+  compare_snapshot (c.C.name ^ ".trace.txt")
+    (Sage_trace.Trace.render Sage_trace.Trace.Text trace)
+
+let trace_snapshot_corpora = [ "icmp"; "igmp" ]
+
 let suite =
   List.concat_map
     (fun c ->
       [
         tc (c.C.name ^ " report snapshot") (test_report_snapshot c);
         tc (c.C.name ^ " analysis snapshot") (test_analysis_snapshot c);
-      ])
+      ]
+      @
+      if List.mem c.C.name trace_snapshot_corpora then
+        [ tc (c.C.name ^ " trace-text snapshot") (test_trace_text_snapshot c) ]
+      else [])
     C.corpora

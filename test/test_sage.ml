@@ -26,4 +26,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("trace", Test_trace.suite);
       ("golden-snapshots", Test_golden_snapshots.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("cli", Test_cli.suite);
+      ("stateful", Test_stateful.suite);
     ]
