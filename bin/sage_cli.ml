@@ -668,6 +668,185 @@ let fuzz_cmd =
           $ stats_arg $ trace_arg $ trace_format_arg $ trace_clock_arg)
 
 (* ------------------------------------------------------------------ *)
+(* sage chaos                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let corpus_names =
+    [ "icmp"; "icmp-rw"; "igmp"; "ntp"; "bfd"; "bfd-rw"; "tcp"; "bgp" ]
+  in
+  let chaos_corpus_conv =
+    let parse s =
+      if List.mem s corpus_names then Ok s
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "unknown corpus %S (choose from %s)" s
+                (String.concat ", " corpus_names)))
+    in
+    Arg.conv (parse, Fmt.string)
+  in
+  let corpus_arg =
+    let doc =
+      "Restrict the campaign to this corpus (repeatable; default: all 8)."
+    in
+    Arg.(value & opt_all chaos_corpus_conv [] & info [ "corpus" ] ~docv:"NAME" ~doc)
+  in
+  let scenario_conv =
+    let parse s =
+      match Sage_chaos.Scenario.find s with
+      | Some _ -> Ok s
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown scenario %S (built-ins: %s)" s
+                (String.concat ", " Sage_chaos.Scenario.names)))
+    in
+    Arg.conv (parse, Fmt.string)
+  in
+  let scenario_arg =
+    let doc =
+      "Run a single built-in scenario instead of all of them: $(b,flaky), \
+       $(b,partition), $(b,outage) or $(b,blackout)."
+    in
+    Arg.(value & opt (some scenario_conv) None
+         & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let schedule_conv =
+    (* accepts an inline schedule or a file containing one; the episode
+       grammar embeds the --fault-plan rule grammar in storm(...) *)
+    let parse s =
+      let spec =
+        if Sys.file_exists s && not (Sys.is_directory s) then (
+          let ic = open_in_bin s in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> String.trim (really_input_string ic (in_channel_length ic))))
+        else s
+      in
+      match Sage_chaos.Episode.of_string spec with
+      | Ok sched -> Ok sched
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf s = Fmt.string ppf (Sage_chaos.Episode.to_string s) in
+    Arg.conv (parse, print)
+  in
+  let schedule_arg =
+    let doc =
+      "Run a custom schedule instead of the built-in scenarios: either an \
+       inline spec or a file containing one.  Grammar: episodes separated \
+       by $(b,;), each $(b,partition:N), $(b,crash:N), $(b,heal:N) or \
+       $(b,storm(PLAN):N) where PLAN is the $(b,--fault-plan) grammar; the \
+       schedule must end with a heal episode."
+    in
+    Arg.(value & opt (some schedule_conv) None
+         & info [ "schedule" ] ~docv:"SPEC|FILE" ~doc)
+  in
+  let soak_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Ok n
+      | Some n -> Error (`Msg (Printf.sprintf "--soak must be >= 0, got %d" n))
+      | None -> Error (`Msg (Printf.sprintf "bad --soak value %S" s))
+    in
+    Arg.conv (parse, Fmt.int)
+  in
+  let soak_arg =
+    let doc = "Stretch every schedule's final heal window by $(docv) ticks." in
+    Arg.(value & opt soak_conv 0 & info [ "soak" ] ~docv:"TICKS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Campaign seed: the same seed reproduces the identical run." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let wedge_arg =
+    let doc =
+      "Arm the seeded no-recovery fixture (restart handlers die after the \
+       first crash) — oracle self-test: scenarios with a crash episode must \
+       fail and the run exits 1 with a shrunk minimal schedule."
+    in
+    Arg.(value & flag & info [ "seeded-wedge" ] ~doc)
+  in
+  let run verbose jobs seed scenario schedule soak wedge corpora_sel stats
+      trace_file trace_format trace_clock =
+    setup_logs verbose;
+    if scenario <> None && schedule <> None then
+      `Error (true, "--scenario and --schedule cannot be combined")
+    else
+      `Ok
+        (with_trace ~clock:trace_clock trace_file trace_format @@ fun trace ->
+         let names = if corpora_sel = [] then corpus_names else corpora_sel in
+         (* one pipeline run per distinct (protocol, rewritten) backing,
+            shared across corpora *)
+         let runs : (string, P.run) Hashtbl.t = Hashtbl.create 8 in
+         let pipeline_of name =
+           match Hashtbl.find_opt runs name with
+           | Some r -> r
+           | None ->
+             let proto, rewritten =
+               match name with
+               | "icmp" -> (Icmp, false)
+               | "icmp-rw" -> (Icmp, true)
+               | "igmp" -> (Igmp, false)
+               | "ntp" -> (Ntp, false)
+               | "bfd" -> (Bfd, false)
+               | "bfd-rw" -> (Bfd, true)
+               | "tcp" -> (Tcp, false)
+               | _ -> (Bgp, false)
+             in
+             let r = run_pipeline ~jobs ?trace proto rewritten in
+             Hashtbl.replace runs name r;
+             r
+         in
+         (* the generated stack of an ambiguous original text does not
+            interoperate (§6.5); its cases run the disambiguated text *)
+         let gen_backing = function
+           | "icmp" -> "icmp-rw"
+           | "bfd" -> "bfd-rw"
+           | c -> c
+         in
+         let corpora =
+           List.map
+             (fun name ->
+               { Sage_chaos.Campaign.corpus = name;
+                 generated_run = lazy (pipeline_of (gen_backing name)) })
+             names
+         in
+         let scenarios =
+           match (scenario, schedule) with
+           | Some s, _ -> [ (s, Option.get (Sage_chaos.Scenario.find s)) ]
+           | None, Some sched -> [ ("schedule", sched) ]
+           | None, None -> Sage_chaos.Scenario.builtins
+         in
+         let metrics = Sage_sched.Metrics.create () in
+         let campaign =
+           Sage_chaos.Campaign.run ?trace ~metrics ~soak ~wedge ~seed
+             ~scenarios ~corpora ()
+         in
+         print_string (Sage_chaos.Campaign.summary campaign);
+         if stats then begin
+           print_newline ();
+           print_string (Sage_sched.Metrics.summary metrics)
+         end;
+         Sage_chaos.Campaign.exit_code campaign)
+  in
+  let doc =
+    "Run chaos campaigns against the reference and generated stacks: timed \
+     schedules of partitions, fault storms and crash/restart episodes over \
+     the simulated network, with RFC-derived recovery oracles checked in \
+     the final heal window (BFD detection-time reconvergence, ping and \
+     traceroute recovery, IGMP report reconvergence, NTP reachability, FSM \
+     re-establishment, and a generic no-silent-wedge check).  Deterministic \
+     for a fixed seed; exits 1 with a shrunk minimal schedule when any \
+     oracle is violated."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(ret
+            (const run $ verbose_arg $ jobs_arg $ seed_arg $ scenario_arg
+             $ schedule_arg $ soak_arg $ wedge_arg $ corpus_arg $ stats_arg
+             $ trace_arg $ trace_format_arg $ trace_clock_arg))
+
+(* ------------------------------------------------------------------ *)
 (* sage report                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -710,7 +889,8 @@ let main_cmd =
   Cmd.group info
     [
       parse_cmd; derivation_cmd; run_cmd; code_cmd; analyze_cmd;
-      ambiguities_cmd; interop_cmd; corpus_cmd; fuzz_cmd; report_cmd;
+      ambiguities_cmd; interop_cmd; corpus_cmd; fuzz_cmd; chaos_cmd;
+      report_cmd;
     ]
 
 (* exit 2 on CLI usage errors (unknown flags, malformed values) — the

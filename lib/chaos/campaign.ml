@@ -1,0 +1,203 @@
+module P = Sage.Pipeline
+module Trace = Sage_trace.Trace
+module Metrics = Sage_sched.Metrics
+module Faults = Sage_sim.Faults
+
+(* A campaign runs every (corpus x stack x scenario) case as one
+   deterministic workload under its schedule, evaluates the recovery
+   oracles over the final heal window, and — on the first failure —
+   shrinks the failing schedule to a minimal one that still trips the
+   same oracle (reusing the fuzzer's greedy minimizer). *)
+
+type corpus_case = { corpus : string; generated_run : P.run Lazy.t }
+
+type case_result = {
+  corpus : string;
+  stack : Workload.stack;
+  scenario : string;
+  schedule : Episode.schedule;
+  violations : Oracle.violation list;
+}
+
+type shrunk = {
+  case : string;
+  kind : Oracle.kind;
+  detail : string;
+  schedule : Episode.schedule;
+  steps : int;
+}
+
+type t = {
+  seed : int;
+  soak : int;
+  results : case_result list;
+  shrunk : shrunk option;
+}
+
+let case_label_of ~corpus ~stack ~scenario =
+  Printf.sprintf "%s/%s/%s" corpus (Workload.stack_name stack) scenario
+
+let case_label r =
+  case_label_of ~corpus:r.corpus ~stack:r.stack ~scenario:r.scenario
+
+(* Per-case seed: a deterministic hash of the campaign seed and the case
+   name, so every case gets an independent but reproducible stream. *)
+let case_seed ~seed label =
+  let h = ref (seed land 0x3fffffff) in
+  String.iter
+    (fun c -> h := ((!h * 131) + Char.code c) land 0x3fffffff)
+    label;
+  !h
+
+let partition_plan = [ { Faults.probability = 1.0; fault = Faults.Drop } ]
+
+(* Interpret one schedule against one workload.  Episode transitions
+   swap fault plans and kill/restart the node; a crashed node is
+   restarted when its crash episode ends.  [healed] marks the ticks of
+   the final heal window, where the oracles observe. *)
+let run_schedule ?trace ~workload:(w : Workload.t) schedule =
+  let total = Episode.duration schedule in
+  let heal_ticks = Episode.heal_ticks schedule in
+  let final_start = total - heal_ticks in
+  let tick = ref 0 in
+  let emit ep phase =
+    Trace.instant ~cat:"chaos"
+      ~args:
+        [ ("episode", Trace.Str (Episode.episode_to_string ep));
+          ("phase", Trace.Str phase); ("tick", Trace.Int !tick) ]
+      trace "chaos-episode"
+  in
+  List.iter
+    (fun ep ->
+      emit ep "enter";
+      (match ep with
+       | Episode.Partition _ -> w.Workload.set_plan partition_plan
+       | Episode.Storm { plan; _ } -> w.Workload.set_plan plan
+       | Episode.Crash_restart _ ->
+         w.Workload.set_plan [];
+         w.Workload.crash ()
+       | Episode.Heal _ -> w.Workload.set_plan []);
+      for _ = 1 to Episode.ticks ep do
+        incr tick;
+        w.Workload.step ~healed:(!tick > final_start)
+      done;
+      match ep with
+      | Episode.Crash_restart _ ->
+        w.Workload.restart ();
+        emit ep "restart"
+      | _ -> ())
+    schedule;
+  w.Workload.check ~heal_ticks
+
+let run ?trace ?metrics ?(soak = 0) ?(wedge = false) ~seed ~scenarios ~corpora
+    () =
+  let incr_m ?by name =
+    match metrics with None -> () | Some m -> Metrics.incr ?by m name
+  in
+  let stacks = [ Workload.Reference; Workload.Generated ] in
+  let results = ref [] in
+  let shrunk = ref None in
+  List.iter
+    (fun (c : corpus_case) ->
+      List.iter
+        (fun stack ->
+          List.iter
+            (fun (scenario, schedule) ->
+              let schedule = Episode.extend_heal schedule ~by:soak in
+              let label = case_label_of ~corpus:c.corpus ~stack ~scenario in
+              let cseed = case_seed ~seed label in
+              let make ?trace () =
+                let w =
+                  match
+                    Workload.for_corpus ~corpus:c.corpus ~stack
+                      ~run:c.generated_run ?trace ~seed:cseed ()
+                  with
+                  | Ok w -> w
+                  | Error e -> invalid_arg e
+                in
+                if wedge then Seeded_wedge.arm w else w
+              in
+              Trace.instant ~cat:"chaos"
+                ~args:[ ("case", Trace.Str label) ]
+                trace "chaos-case";
+              let violations = run_schedule ?trace ~workload:(make ?trace ()) schedule in
+              incr_m "chaos.cases";
+              incr_m ~by:(Episode.duration schedule) "chaos.ticks";
+              incr_m ~by:(List.length schedule) "chaos.episodes";
+              incr_m ~by:(List.length violations) "chaos.violations";
+              (if violations <> [] && !shrunk = None then begin
+                 (* minimize the first failing schedule: the shrink
+                    re-runs are untraced so they don't pollute the
+                    campaign's event stream *)
+                 let kind = (List.hd violations).Oracle.kind in
+                 let still_failing s =
+                   let vs = run_schedule ~workload:(make ()) s in
+                   match
+                     List.find_opt (fun v -> v.Oracle.kind = kind) vs
+                   with
+                   | Some v -> Some v.Oracle.detail
+                   | None -> None
+                 in
+                 let min_sched, detail, steps =
+                   Sage_fuzz.Shrink.minimize
+                     ~candidates:Episode.shrink_candidates ~still_failing
+                     schedule
+                 in
+                 incr_m ~by:steps "chaos.shrink_steps";
+                 shrunk :=
+                   Some
+                     {
+                       case = label;
+                       kind;
+                       detail =
+                         Option.value detail
+                           ~default:(List.hd violations).Oracle.detail;
+                       schedule = min_sched;
+                       steps;
+                     }
+               end);
+              results :=
+                { corpus = c.corpus; stack; scenario; schedule; violations }
+                :: !results)
+            scenarios)
+        stacks)
+    corpora;
+  { seed; soak; results = List.rev !results; shrunk = !shrunk }
+
+let failed t = List.exists (fun r -> r.violations <> []) t.results
+let exit_code t = if failed t then 1 else 0
+
+let summary t =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "chaos campaign: seed %d%s\n" t.seed
+    (if t.soak > 0 then Printf.sprintf ", soak +%d ticks" t.soak else "");
+  let width =
+    List.fold_left (fun w r -> max w (String.length (case_label r))) 0 t.results
+  in
+  List.iter
+    (fun r ->
+      Printf.bprintf b "  %-*s  %4d ticks  %d episodes  %s\n" width
+        (case_label r)
+        (Episode.duration r.schedule)
+        (List.length r.schedule)
+        (match r.violations with
+         | [] -> "ok"
+         | vs ->
+           Printf.sprintf "FAIL (%s)"
+             (String.concat "; "
+                (List.map (fun v -> Oracle.kind_name v.Oracle.kind) vs))))
+    t.results;
+  let cases = List.length t.results in
+  let failures =
+    List.length (List.filter (fun r -> r.violations <> []) t.results)
+  in
+  Printf.bprintf b "cases: %d  failed: %d\n" cases failures;
+  (match t.shrunk with
+   | None -> ()
+   | Some s ->
+     Printf.bprintf b "first failure: %s\n" s.case;
+     Printf.bprintf b "  oracle : %s\n" (Oracle.kind_name s.kind);
+     Printf.bprintf b "  detail : %s\n" s.detail;
+     Printf.bprintf b "  shrunk schedule (%d steps): %s\n" s.steps
+       (Episode.to_string s.schedule));
+  Buffer.contents b

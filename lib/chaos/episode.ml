@@ -1,0 +1,161 @@
+module Faults = Sage_sim.Faults
+
+(* A chaos schedule is a timed sequence of fault regimes.  Each episode
+   names a regime and how many ticks it lasts; the campaign interprets
+   the sequence by swapping {!Faults} plans (and killing/restarting
+   nodes) at episode boundaries, on the same PRNG stream, so the whole
+   schedule stays a pure function of the one seed. *)
+
+type episode =
+  | Partition of int
+      (* total loss: every packet dropped for n ticks *)
+  | Storm of { plan : Faults.plan; ticks : int }
+      (* an arbitrary fault plan for a while *)
+  | Crash_restart of int
+      (* a node is dead for n ticks, then restarted *)
+  | Heal of int
+      (* clean wire for n ticks — where the recovery oracles watch *)
+
+type schedule = episode list
+
+let ticks = function
+  | Partition n | Crash_restart n | Heal n -> n
+  | Storm { ticks; _ } -> ticks
+
+let duration s = List.fold_left (fun acc e -> acc + ticks e) 0 s
+
+let heal_ticks s =
+  match List.rev s with Heal n :: _ -> n | _ -> 0
+
+let episode_to_string = function
+  | Partition n -> Printf.sprintf "partition:%d" n
+  | Storm { plan; ticks } ->
+    Printf.sprintf "storm(%s):%d" (Faults.plan_to_string plan) ticks
+  | Crash_restart n -> Printf.sprintf "crash:%d" n
+  | Heal n -> Printf.sprintf "heal:%d" n
+
+let to_string s = String.concat ";" (List.map episode_to_string s)
+
+let ( let* ) = Result.bind
+
+let pos_int ~what s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n > 0 -> Ok n
+  | Some n -> Error (Printf.sprintf "%s: duration must be positive, got %d" what n)
+  | None -> Error (Printf.sprintf "%s: bad duration %S" what (String.trim s))
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let episode_of_string item =
+  let item = String.trim item in
+  if has_prefix ~prefix:"storm(" item then
+    match String.rindex_opt item ')' with
+    | None -> Error (Printf.sprintf "storm episode %S: missing ')'" item)
+    | Some close ->
+      let plan_str = String.sub item 6 (close - 6) in
+      let rest = String.sub item (close + 1) (String.length item - close - 1) in
+      if String.length rest < 2 || rest.[0] <> ':' then
+        Error (Printf.sprintf "storm episode %S: expected \"):TICKS\"" item)
+      else
+        let* plan = Faults.plan_of_string plan_str in
+        let* ticks =
+          pos_int ~what:"storm" (String.sub rest 1 (String.length rest - 1))
+        in
+        Ok (Storm { plan; ticks })
+  else
+    match String.index_opt item ':' with
+    | None ->
+      Error
+        (Printf.sprintf
+           "episode %S: expected KIND:TICKS (partition, storm(PLAN), crash, \
+            heal)"
+           item)
+    | Some i ->
+      let kind = String.sub item 0 i in
+      let* n = pos_int ~what:kind (String.sub item (i + 1) (String.length item - i - 1)) in
+      (match kind with
+       | "partition" -> Ok (Partition n)
+       | "crash" -> Ok (Crash_restart n)
+       | "heal" -> Ok (Heal n)
+       | k ->
+         Error
+           (Printf.sprintf
+              "unknown episode kind %S (want partition, storm, crash or heal)"
+              k))
+
+let validate = function
+  | [] -> Error "empty schedule"
+  | s -> (
+    match List.find_opt (fun e -> ticks e <= 0) s with
+    | Some e ->
+      Error
+        (Printf.sprintf "episode %s: duration must be positive"
+           (episode_to_string e))
+    | None -> (
+      match List.rev s with
+      | Heal _ :: _ -> Ok s
+      | e :: _ ->
+        Error
+          (Printf.sprintf
+             "schedule must end with a heal episode (the recovery oracles \
+              watch the final heal window), but it ends with %s"
+             (episode_to_string e))
+      | [] -> assert false))
+
+let of_string s =
+  let items = String.split_on_char ';' s in
+  let* eps =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* e = episode_of_string item in
+        Ok (e :: acc))
+      (Ok []) items
+  in
+  validate (List.rev eps)
+
+(* Soak mode: keep the disturbance, stretch the final heal window. *)
+let extend_heal s ~by =
+  if by <= 0 then s
+  else
+    match List.rev s with
+    | Heal n :: rev -> List.rev (Heal (n + by) :: rev)
+    | _ -> s
+
+let with_ticks e n =
+  match e with
+  | Partition _ -> Partition n
+  | Crash_restart _ -> Crash_restart n
+  | Heal _ -> Heal n
+  | Storm st -> Storm { st with ticks = n }
+
+(* Shrinking never touches the final heal episode: a shorter heal window
+   turns "never recovered" into "no time to recover", which is a
+   different failure.  Candidates, most aggressive first: drop the whole
+   disturbance, drop one episode, halve one episode's duration. *)
+let shrink_candidates s =
+  match List.rev s with
+  | [] -> []
+  | final :: rev_body ->
+    let body = List.rev rev_body in
+    let n = List.length body in
+    if n = 0 then []
+    else
+      let whole = if n >= 2 then [ [ final ] ] else [] in
+      let drops =
+        List.init n (fun i ->
+            List.filteri (fun j _ -> j <> i) body @ [ final ])
+      in
+      let halves =
+        List.concat
+          (List.init n (fun i ->
+               let e = List.nth body i in
+               let half = ticks e / 2 in
+               if half >= 1 && half <> ticks e then
+                 [ List.mapi (fun j e' -> if j = i then with_ticks e' half else e') body
+                   @ [ final ] ]
+               else []))
+      in
+      whole @ drops @ halves

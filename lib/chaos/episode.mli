@@ -1,0 +1,53 @@
+(** Chaos schedules: timed sequences of fault regimes.
+
+    A schedule is interpreted by {!Campaign} against a {!Workload}: at
+    each episode boundary the wire's {!Sage_sim.Faults} plan is swapped
+    (PRNG stream untouched, so the campaign stays a pure function of the
+    seed), nodes are crashed and restarted, and the recovery oracles
+    watch the final [heal] window.
+
+    Concrete syntax (the [--schedule] grammar): episodes separated by
+    [;], each [KIND:TICKS] — [partition:12], [crash:8], [heal:40] — or
+    [storm(PLAN):TICKS] where [PLAN] is exactly the [--fault-plan]
+    grammar of {!Sage_sim.Faults.plan_of_string}, e.g.
+    ["partition:8;storm(drop@0.4,dup@0.1):20;crash:5;heal:60"]. *)
+
+type episode =
+  | Partition of int  (** total loss for [n] ticks *)
+  | Storm of { plan : Sage_sim.Faults.plan; ticks : int }
+      (** an arbitrary fault plan for a while *)
+  | Crash_restart of int
+      (** a node dies for [n] ticks, restarting when the episode ends *)
+  | Heal of int  (** clean wire; the recovery window *)
+
+type schedule = episode list
+
+val ticks : episode -> int
+val duration : schedule -> int
+
+val heal_ticks : schedule -> int
+(** Length of the final heal window (0 if the schedule doesn't end with
+    one — {!validate} rejects such schedules). *)
+
+val episode_to_string : episode -> string
+
+val to_string : schedule -> string
+(** Inverse of {!of_string}; round-trips exactly for parsed schedules. *)
+
+val of_string : string -> (schedule, string) result
+(** Parse and {!validate}.  Every error is a human-readable message
+    suitable for CLI usage errors (exit 2), never an exception. *)
+
+val validate : schedule -> (schedule, string) result
+(** Nonempty, every episode strictly positive, and the last episode is
+    [Heal] — the oracles need a recovery window to watch. *)
+
+val extend_heal : schedule -> by:int -> schedule
+(** Soak mode: stretch the final heal window by [by] ticks. *)
+
+val shrink_candidates : schedule -> schedule list
+(** Smaller schedules to try when minimizing a failing one (for
+    {!Sage_fuzz.Shrink.minimize}): drop the whole disturbance, drop one
+    episode, halve one episode.  The final heal episode is never
+    shortened or removed — a smaller heal window would manufacture a
+    different failure rather than minimize this one. *)

@@ -1,0 +1,34 @@
+module Faults = Sage_sim.Faults
+
+(* Built-in chaos scenarios, ordered mildest first.  Durations are in
+   campaign ticks; every schedule ends with a heal window longer than
+   the oracles' recovery budget. *)
+
+let rule probability fault = { Faults.probability; fault }
+
+let builtins =
+  [
+    (* intermittent loss and duplication, then quiet *)
+    ( "flaky",
+      [ Episode.Storm
+          { plan = [ rule 0.3 Faults.Drop; rule 0.05 Faults.Duplicate ];
+            ticks = 24 };
+        Episode.Heal 40 ] );
+    (* total loss: every packet dropped for a while *)
+    ("partition", [ Episode.Partition 12; Episode.Heal 40 ]);
+    (* the serving node dies and is restarted *)
+    ("outage", [ Episode.Crash_restart 8; Episode.Heal 48 ]);
+    (* the kitchen sink: partition, corrupting storm, then a crash *)
+    ( "blackout",
+      [ Episode.Partition 8;
+        Episode.Storm
+          { plan =
+              [ rule 0.5 Faults.Drop;
+                rule 0.2 (Faults.Corrupt { offset = 8; mask = 0x20 }) ];
+            ticks = 12 };
+        Episode.Crash_restart 6;
+        Episode.Heal 48 ] );
+  ]
+
+let names = List.map fst builtins
+let find name = List.assoc_opt name builtins

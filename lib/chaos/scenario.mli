@@ -1,0 +1,13 @@
+(** Built-in chaos scenarios.  Each is a named {!Episode.schedule}
+    ending in a heal window the recovery oracles watch:
+
+    - ["flaky"] — a drop/duplicate storm, then quiet.
+    - ["partition"] — total loss for a while.
+    - ["outage"] — the serving node crashes and is restarted.
+    - ["blackout"] — partition, corrupting storm, then a crash. *)
+
+val builtins : (string * Episode.schedule) list
+(** In severity order, mildest first. *)
+
+val names : string list
+val find : string -> Episode.schedule option

@@ -1,0 +1,16 @@
+(* The seeded no-recovery fault: a workload whose restart handler is
+   dead.  Once the chaos schedule crashes the node it never comes back,
+   so the recovery oracles must fail — proving they can.  The chaos
+   analogue of the fuzzer's Seeded_bug. *)
+
+let arm (w : Workload.t) =
+  let crashed = ref false in
+  {
+    w with
+    Workload.name = w.Workload.name ^ "+wedge";
+    crash =
+      (fun () ->
+        crashed := true;
+        w.Workload.crash ());
+    restart = (fun () -> if not !crashed then w.Workload.restart ());
+  }

@@ -1,0 +1,8 @@
+(** The seeded no-recovery fixture, à la {!Sage_fuzz.Seeded_bug}: proof
+    that the recovery oracles can fail.  {!arm} disables a workload's
+    restart handler after its first crash, so any schedule containing a
+    crash episode wedges the node permanently and the heal-window
+    oracles (no-silent-wedge first among them) must report violations.
+    Schedules without a crash episode are unaffected. *)
+
+val arm : Workload.t -> Workload.t

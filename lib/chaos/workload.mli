@@ -1,0 +1,44 @@
+(** One protocol conversation under chaos, per corpus and per stack.
+
+    A workload binds a corpus to concrete traffic over the fault-injected
+    simulator: ICMP runs ping/traceroute against the router service
+    ({!Sage_sim.Icmp_service}), IGMP a query/report cycle against the
+    snooping switch, NTP a poll loop feeding the RFC 5905 reachability
+    register, BFD the persistent {!Sage_sim.Bfd_link}, TCP a
+    segment-echo through the generated header-validation rules, and BGP
+    the ManualStart FSM re-establishment.  The [Generated] stack drives
+    SAGE-generated functions through the interpreter; [Reference] drives
+    the hand-written implementations — the chaos analogue of the paper's
+    two-sided interoperation runs (§6.2). *)
+
+type stack = Reference | Generated
+
+val stack_name : stack -> string
+
+type t = {
+  name : string;
+  step : healed:bool -> unit;
+      (** one campaign tick of traffic; [healed] marks ticks inside the
+          schedule's final heal window, where the oracles observe *)
+  set_plan : Sage_sim.Faults.plan -> unit;
+      (** swap the wire's fault regime (episode boundary) *)
+  crash : unit -> unit;  (** kill the serving node *)
+  restart : unit -> unit;  (** respawn it (fresh protocol state) *)
+  check : heal_ticks:int -> Oracle.violation list;
+      (** evaluate the recovery oracles after the schedule has run *)
+}
+
+val for_corpus :
+  corpus:string ->
+  stack:stack ->
+  run:Sage.Pipeline.run Lazy.t ->
+  ?trace:Sage_trace.Trace.t ->
+  seed:int ->
+  unit ->
+  (t, string) result
+(** Build the workload for a corpus name ("icmp", "icmp-rw", "igmp",
+    "ntp", "bfd", "bfd-rw", "tcp", "bgp").  [run] backs the generated
+    stack and is only forced for [Generated]; for the ambiguous original
+    texts (icmp, bfd) callers pass the disambiguated run — the original
+    texts' interoperation failures are the fuzz/interop tiers' subject,
+    chaos asserts recovery of functioning stacks. *)

@@ -54,6 +54,15 @@ let stats run =
          cov cov_points
          (100.0 *. float_of_int cov /. float_of_int cov_points))
   end;
+  let chaos_ticks = Sage_sched.Metrics.counter m "chaos.ticks" in
+  if chaos_ticks > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\nchaos: %d cases, %d episodes, %d violations over %d ticks\n"
+         (Sage_sched.Metrics.counter m "chaos.cases")
+         (Sage_sched.Metrics.counter m "chaos.episodes")
+         (Sage_sched.Metrics.counter m "chaos.violations")
+         chaos_ticks);
   Buffer.contents buf
 
 let rewrite_worklist run =

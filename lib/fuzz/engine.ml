@@ -47,35 +47,17 @@ let violation_of ~protocol ~env f layout packet =
   | Error _ -> None
   | Ok outcome -> Oracle.check ~protocol ~packet outcome
 
-let shrink_budget = 400
+let shrink_budget = Shrink.default_budget
 
 (* Greedy descent: take the first simpler candidate that still violates
    the same oracle; stop when none does (or the budget runs out). *)
 let shrink ~protocol ~env f layout ~kind packet =
-  let budget = ref shrink_budget in
-  let steps = ref 0 in
-  let cur = ref packet in
-  let detail = ref None in
-  let progress = ref true in
-  while !progress && !budget > 0 do
-    progress := false;
-    let rec try_candidates = function
-      | [] -> ()
-      | c :: rest ->
-        if !budget > 0 then begin
-          decr budget;
-          match violation_of ~protocol ~env f layout c with
-          | Some v when v.Oracle.kind = kind ->
-            cur := c;
-            detail := Some v.Oracle.detail;
-            incr steps;
-            progress := true
-          | _ -> try_candidates rest
-        end
-    in
-    try_candidates (Gen.shrink_candidates !cur)
-  done;
-  (!cur, !detail, !steps)
+  Shrink.minimize ~budget:shrink_budget ~candidates:Gen.shrink_candidates
+    ~still_failing:(fun c ->
+      match violation_of ~protocol ~env f layout c with
+      | Some v when v.Oracle.kind = kind -> Some v.Oracle.detail
+      | _ -> None)
+    packet
 
 let run ?trace ?metrics ~seed ~iters ~protocol targets =
   let rng = Rng.of_seed seed in

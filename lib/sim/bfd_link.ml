@@ -10,12 +10,26 @@ type event =
   | Came_up of int              (* tick at which both ends reached Up *)
   | Detection_timeout of { tick : int; at_a : bool }
 
+type receive = Bfd.session -> Bfd.packet -> [ `Ok | `Discard of string ]
+
 type endpoint = {
-  session : Bfd.session;
+  mutable session : Bfd.session;
   wire : Faults.t;              (* the path *from* this endpoint *)
+  local_discr : int32;
+  detect_mult : int;
+  mutable alive : bool;         (* false between crash and restart *)
   mutable ticks_since_rx : int;
   mutable rx_count : int;
   mutable tx_count : int;
+}
+
+type link = {
+  a : endpoint;
+  b : endpoint;
+  receive : receive;
+  mutable tick : int;
+  mutable was_up : bool;
+  mutable rev_events : event list;
 }
 
 type outcome = {
@@ -32,7 +46,16 @@ type outcome = {
 let make_endpoint ~local_discr ~detect_mult wire =
   let session = Bfd.new_session ~local_discr in
   session.Bfd.detect_mult <- detect_mult;
-  { session; wire; ticks_since_rx = 0; rx_count = 0; tx_count = 0 }
+  {
+    session;
+    wire;
+    local_discr;
+    detect_mult;
+    alive = true;
+    ticks_since_rx = 0;
+    rx_count = 0;
+    tx_count = 0;
+  }
 
 let control_packet ep =
   let s = ep.session in
@@ -58,84 +81,128 @@ let declare_down ep =
   ep.session.Bfd.session_state <- Bfd.Down;
   ep.ticks_since_rx <- 0
 
-let deliver_to ep packets =
+let deliver_to link ep packets =
   List.iter
     (fun wire_pkt ->
       (* a corrupted or truncated packet must be rejected by the typed
-         decoder, never crash the session *)
-      match Bfd.decode wire_pkt with
-      | Error _ -> ()
-      | Ok p -> (
-        match Bfd.receive_control_packet ep.session p with
-        | `Discard _ -> ()
-        | `Ok ->
-          ep.rx_count <- ep.rx_count + 1;
-          ep.ticks_since_rx <- 0))
+         decoder, never crash the session; a dead endpoint hears
+         nothing at all *)
+      if ep.alive then
+        match Bfd.decode wire_pkt with
+        | Error _ -> ()
+        | Ok p -> (
+          match link.receive ep.session p with
+          | `Discard _ -> ()
+          | `Ok ->
+            ep.rx_count <- ep.rx_count + 1;
+            ep.ticks_since_rx <- 0))
     packets
 
-let run ?(detect_mult = 3) ?(plan = []) ~seed ~ticks () =
+let reference_receive sess pkt = Bfd.receive_control_packet sess pkt
+
+let create_link ?(detect_mult = 3) ?(plan = []) ?(receive = reference_receive)
+    ~seed () =
   (* independent deterministic streams per direction, derived from the
      one seed so a single integer reproduces the whole run *)
   let a_to_b = Faults.create ~plan ~seed () in
   let b_to_a = Faults.create ~plan ~seed:(seed + 0x5157) () in
-  let a = make_endpoint ~local_discr:1l ~detect_mult a_to_b in
-  let b = make_endpoint ~local_discr:2l ~detect_mult b_to_a in
-  let events = ref [] in
-  let was_up = ref false in
-  for tick = 1 to ticks do
-    (* transmit phase: each end emits one control packet per tick while
-       periodic transmission is enabled (ceased in demand mode) *)
-    let from_a =
-      if a.session.Bfd.periodic_tx_enabled then begin
-        a.tx_count <- a.tx_count + 1;
-        Faults.transmit a.wire (Bfd.encode (control_packet a))
-      end
-      else Faults.idle a.wire
-    in
-    let from_b =
-      if b.session.Bfd.periodic_tx_enabled then begin
-        b.tx_count <- b.tx_count + 1;
-        Faults.transmit b.wire (Bfd.encode (control_packet b))
-      end
-      else Faults.idle b.wire
-    in
-    (* receive phase *)
-    a.ticks_since_rx <- a.ticks_since_rx + 1;
-    b.ticks_since_rx <- b.ticks_since_rx + 1;
-    deliver_to b from_a;
-    deliver_to a from_b;
-    (* timer phase: detection-time expiry only matters once the session
-       has left Down (a Down session has nothing to detect, §6.8.4) *)
-    if a.session.Bfd.session_state <> Bfd.Down && detection_expired a then begin
-      declare_down a;
-      events := Detection_timeout { tick; at_a = true } :: !events
-    end;
-    if b.session.Bfd.session_state <> Bfd.Down && detection_expired b then begin
-      declare_down b;
-      events := Detection_timeout { tick; at_a = false } :: !events
-    end;
-    if
-      (not !was_up)
-      && a.session.Bfd.session_state = Bfd.Up
-      && b.session.Bfd.session_state = Bfd.Up
-    then begin
-      was_up := true;
-      events := Came_up tick :: !events
-    end;
-    if !was_up && (a.session.Bfd.session_state <> Bfd.Up
-                   || b.session.Bfd.session_state <> Bfd.Up)
-    then was_up := false
-  done;
   {
-    ticks;
-    a_state = a.session.Bfd.session_state;
-    b_state = b.session.Bfd.session_state;
-    a_rx = a.rx_count;
-    b_rx = b.rx_count;
-    a_tx = a.tx_count;
-    b_tx = b.tx_count;
-    events = List.rev !events;
+    a = make_endpoint ~local_discr:1l ~detect_mult a_to_b;
+    b = make_endpoint ~local_discr:2l ~detect_mult b_to_a;
+    receive;
+    tick = 0;
+    was_up = false;
+    rev_events = [];
   }
+
+let endpoint link ~at_a = if at_a then link.a else link.b
+
+let link_tick link = link.tick
+let link_state link ~at_a = (endpoint link ~at_a).session.Bfd.session_state
+let link_alive link ~at_a = (endpoint link ~at_a).alive
+let link_events link = List.rev link.rev_events
+
+let link_up link =
+  link.a.session.Bfd.session_state = Bfd.Up
+  && link.b.session.Bfd.session_state = Bfd.Up
+
+let set_link_plan link plan =
+  Faults.set_plan link.a.wire plan;
+  Faults.set_plan link.b.wire plan
+
+(* A crashed endpoint transmits nothing (its wire still idles, so
+   in-flight packets keep moving) and hears nothing; its session state
+   is meaningless until restart. *)
+let kill_endpoint link ~at_a = (endpoint link ~at_a).alive <- false
+
+(* Restart = a fresh session with the same discriminator, starting from
+   Down with everything to relearn — exactly a daemon respawn. *)
+let restart_endpoint link ~at_a =
+  let ep = endpoint link ~at_a in
+  let session = Bfd.new_session ~local_discr:ep.local_discr in
+  session.Bfd.detect_mult <- ep.detect_mult;
+  ep.session <- session;
+  ep.ticks_since_rx <- 0;
+  ep.alive <- true
+
+let step_link link =
+  let tick = link.tick + 1 in
+  link.tick <- tick;
+  let a = link.a and b = link.b in
+  (* transmit phase: each live end emits one control packet per tick
+     while periodic transmission is enabled (ceased in demand mode) *)
+  let emit ep =
+    if ep.alive && ep.session.Bfd.periodic_tx_enabled then begin
+      ep.tx_count <- ep.tx_count + 1;
+      Faults.transmit ep.wire (Bfd.encode (control_packet ep))
+    end
+    else Faults.idle ep.wire
+  in
+  let from_a = emit a in
+  let from_b = emit b in
+  (* receive phase *)
+  a.ticks_since_rx <- a.ticks_since_rx + 1;
+  b.ticks_since_rx <- b.ticks_since_rx + 1;
+  deliver_to link b from_a;
+  deliver_to link a from_b;
+  (* timer phase: detection-time expiry only matters once the session
+     has left Down (a Down session has nothing to detect, §6.8.4) *)
+  let expire ep ~at_a =
+    if
+      ep.alive
+      && ep.session.Bfd.session_state <> Bfd.Down
+      && detection_expired ep
+    then begin
+      declare_down ep;
+      link.rev_events <- Detection_timeout { tick; at_a } :: link.rev_events
+    end
+  in
+  expire a ~at_a:true;
+  expire b ~at_a:false;
+  if (not link.was_up) && link_up link then begin
+    link.was_up <- true;
+    link.rev_events <- Came_up tick :: link.rev_events
+  end;
+  if link.was_up && not (link_up link) then link.was_up <- false
+
+let outcome_of link =
+  {
+    ticks = link.tick;
+    a_state = link.a.session.Bfd.session_state;
+    b_state = link.b.session.Bfd.session_state;
+    a_rx = link.a.rx_count;
+    b_rx = link.b.rx_count;
+    a_tx = link.a.tx_count;
+    b_tx = link.b.tx_count;
+    events = link_events link;
+  }
+
+let run ?(detect_mult = 3) ?(plan = []) ~seed ~ticks () =
+  let link = create_link ~detect_mult ~plan ~seed () in
+  for _ = 1 to ticks do
+    step_link link
+  done;
+  outcome_of link
 
 let came_up o =
   List.exists (function Came_up _ -> true | _ -> false) o.events

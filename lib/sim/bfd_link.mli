@@ -37,6 +37,60 @@ val run :
     directions, each with its own PRNG stream derived from [seed], so
     the whole run is reproducible from the one integer. *)
 
+(** {2 Tick-by-tick driving}
+
+    A chaos campaign needs to interleave the link clock with episode
+    boundaries — swap fault plans, crash an endpoint mid-run, restart
+    it, and watch the session re-converge.  [link] is the persistent
+    form of {!run}: {!create_link} then one {!step_link} per tick. *)
+
+type link
+
+type receive = Sage_net.Bfd.session -> Sage_net.Bfd.packet ->
+  [ `Ok | `Discard of string ]
+(** Session-update logic, pluggable so the same harness drives the
+    hand-written reference ({!Sage_net.Bfd.receive_control_packet}, the
+    default) or a SAGE-generated reception procedure executed by the
+    interpreter. *)
+
+val create_link :
+  ?detect_mult:int -> ?plan:Faults.plan -> ?receive:receive -> seed:int ->
+  unit -> link
+(** Endpoint A has discriminator 1, endpoint B discriminator 2; both
+    wires derive their PRNG streams from [seed] exactly as {!run}. *)
+
+val step_link : link -> unit
+(** One tick: transmit phase (live endpoints with periodic transmission
+    enabled), receive phase, then the §6.8.4 detection-timer phase. *)
+
+val link_tick : link -> int
+
+val link_state : link -> at_a:bool -> Sage_net.Bfd.session_state
+
+val link_up : link -> bool
+(** Both ends currently Up. *)
+
+val link_alive : link -> at_a:bool -> bool
+
+val link_events : link -> event list
+(** Everything so far, in tick order. *)
+
+val set_link_plan : link -> Faults.plan -> unit
+(** Swap both directions' fault plans (PRNG streams untouched — see
+    {!Faults.set_plan}). *)
+
+val kill_endpoint : link -> at_a:bool -> unit
+(** Crash one end: it stops transmitting and hears nothing (its wire
+    still idles so in-flight packets keep moving); the peer's detection
+    timer will expire. *)
+
+val restart_endpoint : link -> at_a:bool -> unit
+(** Respawn a crashed end as a fresh session (same discriminator, state
+    Down, everything to relearn). *)
+
+val outcome_of : link -> outcome
+(** Snapshot the link as a {!run}-style outcome. *)
+
 val came_up : outcome -> bool
 (** The session reached Up at both ends at some point. *)
 

@@ -20,7 +20,7 @@ type plan = rule list
 
 type t = {
   mutable state : int64;   (* splitmix64 stream state *)
-  plan : plan;
+  mutable plan : plan;     (* swappable mid-run: the PRNG stream survives *)
   mutable tick : int;
   mutable pending : (int * bytes) list;  (* (due tick, packet), FIFO order *)
   mutable held : bytes option;           (* packet withheld by Reorder *)
@@ -56,7 +56,16 @@ let create ?(plan = []) ~seed () =
 
 let tick t = t.tick
 let plan t = t.plan
+
+(* Swapping plans at an episode boundary deliberately leaves [state]
+   untouched: a chaos campaign's whole fault history stays a pure
+   function of the one seed, whatever schedule drives the swaps. *)
+let set_plan t plan = t.plan <- plan
+
 let set_observer t f = t.observer <- Some f
+
+let in_flight t =
+  List.length t.pending + (match t.held with None -> 0 | Some _ -> 1)
 
 let corrupt_packet ~offset ~mask p =
   let len = Bytes.length p in
@@ -101,10 +110,15 @@ let apply_rule t rule pkts =
       end)
     pkts
 
+(* Packets leave the wire in due-tick order regardless of the order the
+   delay rules queued them; the stable sort keeps same-tick packets in
+   FIFO order. *)
+let by_due = List.stable_sort (fun (at1, _) (at2, _) -> compare at1 at2)
+
 let release_due t =
   let due, rest = List.partition (fun (at, _) -> at <= t.tick) t.pending in
   t.pending <- rest;
-  List.map snd due
+  List.map snd (by_due due)
 
 let transmit t pkt =
   t.tick <- t.tick + 1;
@@ -115,8 +129,10 @@ let idle t =
   t.tick <- t.tick + 1;
   release_due t
 
+(* Delayed packets first (in due-tick order — they were on the wire
+   before the reorder rule withheld anything), then the withheld one. *)
 let flush t =
-  let pending = List.map snd t.pending in
+  let pending = List.map snd (by_due t.pending) in
   let held = match t.held with None -> [] | Some p -> [ p ] in
   t.pending <- [];
   t.held <- None;
@@ -139,7 +155,7 @@ let rule_to_string r = Printf.sprintf "%s@%g" (fault_to_string r.fault) r.probab
 
 let plan_to_string plan = String.concat "," (List.map rule_to_string plan)
 
-let parse_rule s =
+let rule_of_string s =
   match String.split_on_char '@' s with
   | [ spec; prob ] -> (
     let probability =
@@ -182,7 +198,7 @@ let plan_of_string s =
   else
     List.fold_left
       (fun acc item ->
-        match (acc, parse_rule item) with
+        match (acc, rule_of_string item) with
         | Error e, _ -> Error e
         | Ok rules, Ok r -> Ok (r :: rules)
         | Ok _, Error e -> Error e)

@@ -40,13 +40,25 @@ val idle : t -> bytes list
     ceased) keep the wire's clock moving. *)
 
 val flush : t -> bytes list
-(** Release everything still in flight (delayed and withheld packets)
-    without advancing the clock, clearing the internal queues. *)
+(** Release everything still in flight without advancing the clock,
+    clearing the internal queues: delayed packets in due-tick order
+    (FIFO within a tick), then the withheld (reordered) packet, if
+    any. *)
 
 val tick : t -> int
 (** Number of [transmit] calls so far. *)
 
 val plan : t -> plan
+
+val set_plan : t -> plan -> unit
+(** Replace the rule set mid-run {e without} touching the PRNG stream,
+    the clock, or the in-flight queues.  This is how a chaos schedule
+    swaps fault regimes at episode boundaries while the whole campaign
+    stays a pure function of the one seed. *)
+
+val in_flight : t -> int
+(** Packets currently inside the wire: delayed ones not yet due plus a
+    withheld (reordered) one, if any. *)
 
 val set_observer : t -> (fault -> unit) -> unit
 (** Install a callback invoked each time a rule {e fires} (i.e. its
@@ -57,6 +69,13 @@ val set_observer : t -> (fault -> unit) -> unit
 
 val fault_to_string : fault -> string
 (** The plan-syntax spelling of one fault, e.g. ["delay:3"]. *)
+
+val rule_of_string : string -> (rule, string) result
+(** Parse a single [kind[:args]@probability] rule — the grammar shared
+    by [--fault-plan] and the chaos [--schedule] storm episodes. *)
+
+val rule_to_string : rule -> string
+(** Inverse of {!rule_of_string} (probability printed with [%g]). *)
 
 val plan_of_string : string -> (plan, string) result
 (** Parse the CLI plan syntax: comma-separated [kind[:args]@probability]

@@ -92,6 +92,20 @@ let reference_error ~kind ~original ~router =
 let reference =
   { name = "reference"; echo_reply = reference_echo_reply; error = reference_error }
 
+(* A crashed node is silent, not chatty: echo requests are swallowed
+   (the sender sees a timeout, exactly like pinging a dead host) and no
+   error messages are originated. *)
+let with_availability ~up t =
+  {
+    t with
+    echo_reply =
+      (fun ~request -> if up () then t.echo_reply ~request else Ok None);
+    error =
+      (fun ~kind ~original ~router ->
+        if up () then t.error ~kind ~original ~router
+        else Error (t.name ^ ": node down"));
+  }
+
 (* ------------------------------------------------------------------ *)
 (* SAGE-generated implementation.                                      *)
 (* ------------------------------------------------------------------ *)

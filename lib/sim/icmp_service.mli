@@ -29,6 +29,13 @@ val reference : t
 (** Hand-written against RFC 792 and Linux behaviour, using the [lib/net]
     codecs only. *)
 
+val with_availability : up:(unit -> bool) -> t -> t
+(** Gate a service behind a liveness flag, so a chaos schedule can crash
+    and restart the node it runs on: while [up ()] is false, echo
+    requests are silently swallowed ([Ok None] — the sender times out as
+    against a dead host) and error generation fails.  While [up ()] is
+    true the service is untouched. *)
+
 val generated : Generated_stack.t -> t
 (** Backed by SAGE-generated functions:
     [icmp_echo_reply_receiver], [icmp_destination_unreachable_sender],

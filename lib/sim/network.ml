@@ -285,6 +285,18 @@ let send_all t ~from dgram =
       [ Dropped "fault: packet lost in transit" ]
     | on_wire -> List.map (traced_route t ~from) on_wire)
 
+(* Advance the wire clock without injecting traffic: previously delayed
+   packets now due are still routed (their outcomes stand alone — the
+   original sender has already given up on them), so a quiet period does
+   not freeze in-flight packets. *)
+let idle t =
+  match t.faults with
+  | None -> ()
+  | Some f ->
+    List.iter
+      (fun pkt -> ignore (traced_route t ~from:(client_addr t) pkt))
+      (Faults.idle f)
+
 let send t ~from dgram =
   let deliveries = send_all t ~from dgram in
   match List.find_opt (function Dropped _ -> false | _ -> true) deliveries with

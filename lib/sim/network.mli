@@ -74,6 +74,13 @@ val send : t -> from:Sage_net.Addr.t -> bytes -> delivery
     is delivered, answered, or dropped.  Under a fault plan this is the
     first non-[Dropped] outcome of {!send_all} (or its first drop). *)
 
+val idle : t -> unit
+(** Advance the fault process's clock by one tick without sending
+    anything: previously delayed packets now due are routed (outcomes
+    discarded).  A no-op on a topology without faults.  This is what a
+    retrying client's backoff wait consumes, so delayed packets keep
+    moving while the client is silent. *)
+
 val send_all : t -> from:Sage_net.Addr.t -> bytes -> delivery list
 (** Like {!send}, but returns the outcome of {e every} packet the fault
     process put on the wire for this injection — duplicates yield two

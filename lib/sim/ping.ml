@@ -94,8 +94,22 @@ let check_reply ~src ~target ~identifier ~seq ~payload reply =
     else fail (Length_wrong "reply shorter than an ICMP header");
     (match !failures with [] -> Ok_reply | fs -> Bad_reply (List.rev fs))
 
-let ping ?(count = 3) ?(identifier = 0x2327) ?(payload_len = 56) ~net target =
+(* [retries] adds client-side resilience: a probe that drew no reply is
+   re-sent up to [retries] more times, waiting [backoff * 2^attempt]
+   wire ticks between attempts (exponential backoff, like ping -W with
+   a retrying wrapper).  Each waited tick calls [on_tick] — the chaos
+   controller uses that hook to keep its episode clock in lock-step
+   with the wire — and defaults to {!Network.idle}, so delayed packets
+   keep moving during the wait.  With [retries = 0] (the default) the
+   behaviour is exactly the historical single-attempt one. *)
+let ping ?(count = 3) ?(identifier = 0x2327) ?(payload_len = 56) ?(retries = 0)
+    ?(backoff = 1) ?on_tick ~net target =
   let src = Network.client_addr net in
+  let wait ticks =
+    for _ = 1 to ticks do
+      match on_tick with Some f -> f () | None -> Network.idle net
+    done
+  in
   let checks = ref [] in
   let received = ref 0 in
   for seq = 1 to count do
@@ -109,26 +123,38 @@ let ping ?(count = 3) ?(identifier = 0x2327) ?(payload_len = 56) ~net target =
         ~payload_len:(Bytes.length request) ()
     in
     let dgram = Ipv4.encode hdr ~payload:request in
-    let check =
+    let attempt_once attempt =
       Sage_trace.Trace.with_span ~cat:"sim"
-        ~args:[ ("seq", Sage_trace.Trace.Int seq) ]
+        ~args:
+          [ ("seq", Sage_trace.Trace.Int seq);
+            ("attempt", Sage_trace.Trace.Int attempt) ]
         (Network.trace net) "ping-probe"
       @@ fun () ->
       match Network.send net ~from:src dgram with
       | Network.Replied reply ->
-        incr received;
-        check_reply ~src ~target ~identifier ~seq ~payload reply
+        `Got (check_reply ~src ~target ~identifier ~seq ~payload reply)
       | Network.Icmp_response err ->
-        (match Ipv4.decode err with
-         | Ok (_, body) when Bytes.length body > 0 ->
-           No_reply
-             (Printf.sprintf "ICMP error type %d instead of echo reply"
-                (Bu.get_u8 body 0))
-         | _ -> No_reply "ICMP error instead of echo reply")
-      | Network.Delivered _ -> No_reply "destination swallowed the request"
-      | Network.Dropped reason -> No_reply ("dropped: " ^ reason)
+        `Lost
+          (match Ipv4.decode err with
+           | Ok (_, body) when Bytes.length body > 0 ->
+             No_reply
+               (Printf.sprintf "ICMP error type %d instead of echo reply"
+                  (Bu.get_u8 body 0))
+           | _ -> No_reply "ICMP error instead of echo reply")
+      | Network.Delivered _ -> `Lost (No_reply "destination swallowed the request")
+      | Network.Dropped reason -> `Lost (No_reply ("dropped: " ^ reason))
     in
-    checks := check :: !checks
+    let rec go attempt =
+      match attempt_once attempt with
+      | `Got check ->
+        incr received;
+        check
+      | `Lost check when attempt >= retries -> check
+      | `Lost _ ->
+        wait (backoff * (1 lsl attempt));
+        go (attempt + 1)
+    in
+    checks := go 0 :: !checks
   done;
   { target; sent = count; received = !received; checks = List.rev !checks }
 

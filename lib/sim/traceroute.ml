@@ -34,8 +34,18 @@ let quoted_matches ~probe quoted =
     && Bu.get_u16 ppl 0 = Bu.get_u16 quoted (4 * ihl)
     && Bu.get_u16 ppl 2 = Bu.get_u16 quoted ((4 * ihl) + 2)
 
-let traceroute ?(max_ttl = 8) ?(first_port = 33434) ~net target =
+(* Same retry/backoff discipline as {!Ping.ping}: a TTL whose probe drew
+   no responder is re-probed up to [retries] more times with exponential
+   backoff, each waited tick running [on_tick] (default
+   {!Network.idle}).  [retries = 0] is the historical one-shot probe. *)
+let traceroute ?(max_ttl = 8) ?(first_port = 33434) ?(retries = 0)
+    ?(backoff = 1) ?on_tick ~net target =
   let src = Network.client_addr net in
+  let wait ticks =
+    for _ = 1 to ticks do
+      match on_tick with Some f -> f () | None -> Network.idle net
+    done
+  in
   let hops = ref [] in
   let reached = ref false in
   let ttl = ref 1 in
@@ -49,9 +59,11 @@ let traceroute ?(max_ttl = 8) ?(first_port = 33434) ~net target =
         ~payload_len:(Bytes.length segment) ()
     in
     let probe = Ipv4.encode hdr ~payload:segment in
-    let hop =
+    let attempt_once attempt =
       Sage_trace.Trace.with_span ~cat:"sim"
-        ~args:[ ("ttl", Sage_trace.Trace.Int !ttl) ]
+        ~args:
+          [ ("ttl", Sage_trace.Trace.Int !ttl);
+            ("attempt", Sage_trace.Trace.Int attempt) ]
         (Network.trace net) "traceroute-probe"
       @@ fun () ->
       match Network.send net ~from:src probe with
@@ -92,7 +104,15 @@ let traceroute ?(max_ttl = 8) ?(first_port = 33434) ~net target =
         { ttl = !ttl; responder = None; response_type = None;
           quoted_probe_ok = false; note = "dropped: " ^ reason }
     in
-    hops := hop :: !hops;
+    let rec go attempt =
+      let hop = attempt_once attempt in
+      if hop.responder <> None || attempt >= retries then hop
+      else begin
+        wait (backoff * (1 lsl attempt));
+        go (attempt + 1)
+      end
+    in
+    hops := go 0 :: !hops;
     incr ttl
   done;
   { target; hops = List.rev !hops; reached = !reached }

@@ -20,7 +20,19 @@ type result = {
 }
 
 val traceroute :
-  ?max_ttl:int -> ?first_port:int -> net:Network.t -> Sage_net.Addr.t -> result
+  ?max_ttl:int ->
+  ?first_port:int ->
+  ?retries:int ->
+  ?backoff:int ->
+  ?on_tick:(unit -> unit) ->
+  net:Network.t ->
+  Sage_net.Addr.t ->
+  result
+(** [retries] (default 0: the historical one probe per TTL) re-sends a
+    probe whose responder never answered up to that many more times,
+    waiting [backoff * 2^attempt] ticks between attempts; each waited
+    tick invokes [on_tick] (default {!Network.idle}).  The recorded hop
+    is the last attempt's outcome. *)
 
 val hop_count : result -> int
 

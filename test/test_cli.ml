@@ -82,6 +82,49 @@ let test_fuzz_deterministic_across_jobs () =
   checki "both exit 0 (b)" 0 c2;
   Alcotest.check Alcotest.string "byte-identical across --jobs" out1 out2
 
+(* ---- chaos verb ---- *)
+
+let test_unknown_flag_chaos () =
+  expect_usage_error "chaos" "chaos --definitely-not-a-flag"
+
+let test_chaos_malformed_seed () =
+  expect_usage_error "chaos seed" "chaos --seed pancake"
+
+let test_chaos_negative_soak () =
+  expect_usage_error "chaos soak" "chaos --soak -5"
+
+let test_chaos_unknown_scenario () =
+  expect_usage_error "chaos scenario" "chaos --scenario warp"
+
+let test_chaos_unknown_corpus () =
+  expect_usage_error "chaos corpus" "chaos --corpus nope"
+
+let test_chaos_bad_schedule () =
+  (* a schedule without a final heal must be rejected at parse time *)
+  expect_usage_error "chaos schedule" "chaos --schedule partition:10"
+
+let test_chaos_scenario_and_schedule_conflict () =
+  expect_usage_error "chaos conflict"
+    "chaos --scenario flaky --schedule heal:5"
+
+let test_chaos_clean_run () =
+  let code, out, _err = run_cli "chaos --seed 7 --corpus icmp" in
+  checki "clean chaos exits 0" 0 code;
+  checkb "summary header" true (contains out "chaos campaign: seed 7");
+  checkb "no failures" true (contains out "failed: 0")
+
+let test_chaos_seeded_wedge_exit () =
+  let code, out, _err = run_cli "chaos --seed 7 --corpus icmp --seeded-wedge" in
+  checki "wedge exits 1" 1 code;
+  checkb "shrunk schedule reported" true (contains out "crash:1;heal:48")
+
+let test_chaos_deterministic_across_jobs () =
+  let c1, out1, _ = run_cli "chaos --seed 7 --corpus icmp" in
+  let c2, out2, _ = run_cli "chaos --seed 7 --corpus icmp --jobs 4" in
+  checki "both exit 0 (a)" 0 c1;
+  checki "both exit 0 (b)" 0 c2;
+  Alcotest.check Alcotest.string "byte-identical across --jobs" out1 out2
+
 let test_fuzz_coverage_out () =
   let file = Filename.temp_file "sage_cov" ".json" in
   let code, _out, _err =
@@ -110,4 +153,19 @@ let suite =
     Alcotest.test_case "fuzz: identical across --jobs" `Slow
       test_fuzz_deterministic_across_jobs;
     Alcotest.test_case "fuzz: --coverage-out json" `Slow test_fuzz_coverage_out;
+    Alcotest.test_case "unknown flag: chaos" `Quick test_unknown_flag_chaos;
+    Alcotest.test_case "chaos: malformed --seed" `Quick test_chaos_malformed_seed;
+    Alcotest.test_case "chaos: negative --soak" `Quick test_chaos_negative_soak;
+    Alcotest.test_case "chaos: unknown --scenario" `Quick
+      test_chaos_unknown_scenario;
+    Alcotest.test_case "chaos: unknown --corpus" `Quick test_chaos_unknown_corpus;
+    Alcotest.test_case "chaos: schedule missing heal" `Quick
+      test_chaos_bad_schedule;
+    Alcotest.test_case "chaos: --scenario conflicts with --schedule" `Quick
+      test_chaos_scenario_and_schedule_conflict;
+    Alcotest.test_case "chaos: clean run exits 0" `Slow test_chaos_clean_run;
+    Alcotest.test_case "chaos: seeded wedge exits 1" `Slow
+      test_chaos_seeded_wedge_exit;
+    Alcotest.test_case "chaos: identical across --jobs" `Slow
+      test_chaos_deterministic_across_jobs;
   ]

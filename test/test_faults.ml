@@ -80,6 +80,14 @@ let test_corrupt_empty_packet () =
   (* corrupting a zero-length packet must not raise *)
   check Alcotest.int "empty survives" 1 (List.length (F.transmit f Bytes.empty))
 
+let test_truncate_zero () =
+  (* Truncate 0 is the degenerate cut: the packet still arrives (it is
+     not a drop), just with every byte removed *)
+  let f = F.create ~plan:(always (F.Truncate 0)) ~seed:1 () in
+  match F.transmit f (pkt "abcd") with
+  | [ out ] -> check Alcotest.int "delivered empty" 0 (Bytes.length out)
+  | outs -> Alcotest.failf "%d packets" (List.length outs)
+
 let test_truncate () =
   let f = F.create ~plan:(always (F.Truncate 2)) ~seed:1 () in
   (match F.transmit f (pkt "abcd") with
@@ -98,6 +106,26 @@ let test_reorder () =
   match F.flush f with
   | [ out ] -> check Alcotest.bytes "flush releases the held one" (pkt "p2") out
   | outs -> Alcotest.failf "flush returned %d" (List.length outs)
+
+let test_flush_ordering_delayed_and_withheld () =
+  (* when delayed and withheld packets coexist, flush must release the
+     delayed ones in due-tick order (not insertion order) and the
+     reorder-withheld one last, leaving the wire empty *)
+  let f = F.create ~plan:(always (F.Delay 9)) ~seed:1 () in
+  ignore (F.transmit f (pkt "late"));   (* queued at tick 1, due tick 10 *)
+  F.set_plan f (always (F.Delay 3));
+  ignore (F.transmit f (pkt "soon"));   (* queued at tick 2, due tick 5 *)
+  F.set_plan f (always F.Reorder);
+  ignore (F.transmit f (pkt "held"));
+  check Alcotest.int "three in flight" 3 (F.in_flight f);
+  (match F.flush f with
+   | [ a; b; c ] ->
+     check Alcotest.bytes "earliest due first" (pkt "soon") a;
+     check Alcotest.bytes "latest due second" (pkt "late") b;
+     check Alcotest.bytes "withheld last" (pkt "held") c
+   | outs -> Alcotest.failf "flush returned %d packets" (List.length outs));
+  check Alcotest.int "wire empty" 0 (F.in_flight f);
+  check Alcotest.int "flush again yields nothing" 0 (List.length (F.flush f))
 
 let test_stream_determinism () =
   let deliveries plan seed =
@@ -133,6 +161,34 @@ let test_plan_errors () =
   in
   List.iter rejects
     [ ""; "drop"; "drop@1.5"; "drop@-0.1"; "warp@0.5"; "delay@0.5"; "delay:x@0.5" ]
+
+(* ---- qcheck: plan print/parse round-trip ---- *)
+
+module Q = Qcheck_lite
+
+let rule_arb =
+  let gen r =
+    (* probabilities as k/100: %g prints these exactly ("0.07"), and
+       float_of_string returns the same nearest double, so the property
+       tests the grammar rather than float formatting corner cases *)
+    let probability = float_of_int (Q.gen_range r 0 100) /. 100. in
+    let fault =
+      match Q.int_below r 6 with
+      | 0 -> F.Drop
+      | 1 -> F.Duplicate
+      | 2 -> F.Reorder
+      | 3 -> F.Delay (Q.gen_range r 1 40)
+      | 4 -> F.Corrupt { offset = Q.gen_range r 0 63; mask = Q.gen_range r 1 255 }
+      | _ -> F.Truncate (Q.gen_range r 0 64)
+    in
+    { F.probability; fault }
+  in
+  Q.make ~print:F.rule_to_string gen
+
+let plan_arb = Q.list_of ~min_len:1 ~max_len:6 rule_arb
+
+let plan_roundtrip_prop plan =
+  F.plan_of_string (F.plan_to_string plan) = Ok plan
 
 (* ---- network integration ---- *)
 
@@ -467,10 +523,13 @@ let suite =
     tc "faults corrupt" test_corrupt;
     tc "faults corrupt empty packet" test_corrupt_empty_packet;
     tc "faults truncate" test_truncate;
+    tc "faults truncate to zero" test_truncate_zero;
     tc "faults reorder" test_reorder;
+    tc "faults flush ordering" test_flush_ordering_delayed_and_withheld;
     tc "faults stream determinism" test_stream_determinism;
     tc "plan parse roundtrip" test_plan_roundtrip;
     tc "plan parse errors" test_plan_errors;
+    Q.test "plan print/parse round-trip property" plan_arb plan_roundtrip_prop;
     tc "network total loss" test_send_all_total_loss;
     tc "ping loss statistics" test_ping_loss_statistics;
     tc "traceroute loss statistics" test_traceroute_loss_statistics;
