@@ -469,12 +469,42 @@ let ambiguities_cmd =
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* execution backend selection (interop / fuzz / chaos)                *)
+(* ------------------------------------------------------------------ *)
+
+let backend_conv =
+  let parse s =
+    match Sage_backend.Backend.choice_of_string s with
+    | Some c -> Ok c
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown backend %S (choose from %s)" s
+              (String.concat ", "
+                 (List.map Sage_backend.Backend.choice_name
+                    Sage_backend.Backend.all_choices))))
+  in
+  Arg.conv
+    (parse, fun ppf c -> Fmt.string ppf (Sage_backend.Backend.choice_name c))
+
+let backend_arg =
+  let doc =
+    "Execution backend for the generated IR: $(b,interp) (the tree-walk \
+     interpreter) or $(b,compiled) (bodies compiled to closures at load \
+     time; fuzz runs additionally check every iteration against the \
+     interpreter through the backend-agreement oracle)."
+  in
+  Arg.(value
+       & opt backend_conv Sage_backend.Backend.Interp
+       & info [ "backend" ] ~docv:"NAME" ~doc)
+
+(* ------------------------------------------------------------------ *)
 (* sage interop                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let interop_cmd =
-  let run verbose rewritten fault_seed fault_plan trace_file trace_format
-      trace_clock =
+  let run verbose rewritten backend fault_seed fault_plan trace_file
+      trace_format trace_clock =
     setup_logs verbose;
     let faults =
       match fault_plan with
@@ -490,7 +520,7 @@ let interop_cmd =
     let under_faults = Option.is_some faults in
     with_trace ~clock:trace_clock trace_file trace_format @@ fun trace ->
     let result = run_pipeline ?trace Icmp rewritten in
-    let stack = Sage_sim.Generated_stack.of_run ?trace result in
+    let stack = Sage_sim.Generated_stack.of_run ?trace ~backend result in
     let service = Sage_sim.Icmp_service.generated stack in
     let net = Sage_sim.Network.default_topology ~service ?faults ?trace () in
     let target = Sage_sim.Network.server1_addr net in
@@ -562,8 +592,9 @@ let interop_cmd =
      through a seeded fault-injection plan."
   in
   Cmd.v (Cmd.info "interop" ~doc)
-    Term.(const run $ verbose_arg $ rewritten_arg $ fault_seed_arg
-          $ fault_plan_arg $ trace_arg $ trace_format_arg $ trace_clock_arg)
+    Term.(const run $ verbose_arg $ rewritten_arg $ backend_arg
+          $ fault_seed_arg $ fault_plan_arg $ trace_arg $ trace_format_arg
+          $ trace_clock_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage corpus                                                         *)
@@ -615,8 +646,18 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "seeded-bug" ] ~doc)
   in
-  let run proto verbose rewritten jobs seed iters seeded_bug coverage_out stats
-      trace_file trace_format trace_clock =
+  let seeded_divergence_arg =
+    let doc =
+      "Deliberately mis-compile one function's checksum assignment in the \
+       compiled backend (differential-oracle self-test: the run must report \
+       exactly one backend-agreement finding).  Implies \
+       $(b,--backend compiled)."
+    in
+    Arg.(value & flag & info [ "seeded-divergence" ] ~doc)
+  in
+  let run proto verbose rewritten jobs backend seed iters seeded_bug
+      seeded_divergence coverage_out stats trace_file trace_format trace_clock
+      =
     setup_logs verbose;
     with_trace ~clock:trace_clock trace_file trace_format @@ fun trace ->
     let result = run_pipeline ~jobs ?trace proto rewritten in
@@ -636,9 +677,17 @@ let fuzz_cmd =
                result.P.codegen.P.struct_of_function))
         funcs
     in
+    let backend =
+      if seeded_divergence then Sage_backend.Backend.Compiled else backend
+    in
+    let divergence =
+      if seeded_divergence then
+        Some Sage_backend.Seeded_divergence.default_target
+      else None
+    in
     let fz =
-      Sage_fuzz.Engine.run ?trace ~metrics:result.P.metrics ~seed ~iters
-        ~protocol:result.P.spec.P.protocol targets
+      Sage_fuzz.Engine.run ?trace ~metrics:result.P.metrics ~backend
+        ?divergence ~seed ~iters ~protocol:result.P.spec.P.protocol targets
     in
     print_string (Sage_fuzz.Engine.summary fz);
     (match coverage_out with
@@ -664,8 +713,9 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
-          $ seed_arg $ iters_arg $ seeded_bug_arg $ coverage_out_arg
-          $ stats_arg $ trace_arg $ trace_format_arg $ trace_clock_arg)
+          $ backend_arg $ seed_arg $ iters_arg $ seeded_bug_arg
+          $ seeded_divergence_arg $ coverage_out_arg $ stats_arg $ trace_arg
+          $ trace_format_arg $ trace_clock_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage chaos                                                          *)
@@ -767,8 +817,8 @@ let chaos_cmd =
     in
     Arg.(value & flag & info [ "seeded-wedge" ] ~doc)
   in
-  let run verbose jobs seed scenario schedule soak wedge corpora_sel stats
-      trace_file trace_format trace_clock =
+  let run verbose jobs backend seed scenario schedule soak wedge corpora_sel
+      stats trace_file trace_format trace_clock =
     setup_logs verbose;
     if scenario <> None && schedule <> None then
       `Error (true, "--scenario and --schedule cannot be combined")
@@ -820,7 +870,7 @@ let chaos_cmd =
          in
          let metrics = Sage_sched.Metrics.create () in
          let campaign =
-           Sage_chaos.Campaign.run ?trace ~metrics ~soak ~wedge ~seed
+           Sage_chaos.Campaign.run ?trace ~metrics ~backend ~soak ~wedge ~seed
              ~scenarios ~corpora ()
          in
          print_string (Sage_chaos.Campaign.summary campaign);
@@ -842,9 +892,9 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(ret
-            (const run $ verbose_arg $ jobs_arg $ seed_arg $ scenario_arg
-             $ schedule_arg $ soak_arg $ wedge_arg $ corpus_arg $ stats_arg
-             $ trace_arg $ trace_format_arg $ trace_clock_arg))
+            (const run $ verbose_arg $ jobs_arg $ backend_arg $ seed_arg
+             $ scenario_arg $ schedule_arg $ soak_arg $ wedge_arg $ corpus_arg
+             $ stats_arg $ trace_arg $ trace_format_arg $ trace_clock_arg))
 
 (* ------------------------------------------------------------------ *)
 (* sage report                                                         *)

@@ -1,0 +1,5 @@
+(** The tree-walk interpreter behind the backend interface — the
+    reference implementation the compiled backend is differentially
+    tested against. *)
+
+include Intf.S

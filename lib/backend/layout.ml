@@ -1,0 +1,261 @@
+(* A header layout compiled for slot-array execution: every fixed field
+   resolved once — C identifier, bit geometry, mask, slot index — so the
+   packet hot path never walks field lists or normalizes names.
+
+   Slot sharing mirrors [Packet_view]'s hashtable keyed by C identifier:
+   two fields whose names normalize to the same identifier share one
+   slot (reads see the last write), keeping the compiled representation
+   bit-for-bit interchangeable with the interpreter's view.
+
+   Byte packing replicates [Packet_view.serialize]/[deserialize]
+   exactly — big-endian, absolute bit offsets on decode, offsets
+   relative to the first packed field on encode — with a fast path for
+   byte-aligned fields and the same bit loop otherwise. *)
+
+module Hd = Sage_rfc.Header_diagram
+
+type field = {
+  ident : string;  (* C identifier of the field name *)
+  bits : int;
+  bit_off : int;  (* absolute offset within the header *)
+  mask : int64;
+  slot : int;
+}
+
+type t = {
+  src : Hd.t;
+  struct_name : string;
+  fields : field array;  (* fixed fields, layout order *)
+  index : (string, int) Hashtbl.t;  (* ident -> slot *)
+  nslots : int;
+  fixed_bytes : int;
+  var_idents : string list;  (* idents of variable-length fields *)
+}
+
+let mask_of_bits bits =
+  if bits >= 64 then -1L else Int64.sub (Int64.shift_left 1L bits) 1L
+
+let build (layout : Hd.t) =
+  let fixed =
+    List.filter (fun (f : Hd.field) -> not f.Hd.variable) layout.Hd.fields
+  in
+  let index = Hashtbl.create 16 in
+  let nslots = ref 0 in
+  let fields =
+    Array.of_list
+      (List.map
+         (fun (f : Hd.field) ->
+           let ident = Hd.c_identifier f.Hd.name in
+           let slot =
+             match Hashtbl.find_opt index ident with
+             | Some s -> s
+             | None ->
+               let s = !nslots in
+               incr nslots;
+               Hashtbl.add index ident s;
+               s
+           in
+           {
+             ident;
+             bits = f.Hd.bits;
+             bit_off = f.Hd.bit_offset;
+             mask = mask_of_bits f.Hd.bits;
+             slot;
+           })
+         fixed)
+  in
+  let total_bits =
+    List.fold_left (fun acc (f : Hd.field) -> acc + f.Hd.bits) 0 fixed
+  in
+  {
+    src = layout;
+    struct_name = layout.Hd.struct_name;
+    fields;
+    index;
+    nslots = !nslots;
+    fixed_bytes = (total_bits + 7) / 8;
+    var_idents =
+      List.filter_map
+        (fun (f : Hd.field) ->
+          if f.Hd.variable then Some (Hd.c_identifier f.Hd.name) else None)
+        layout.Hd.fields;
+  }
+
+(* one compiled layout per distinct header diagram; layouts are small
+   and the pipeline produces a handful per corpus *)
+let cache : (Hd.t, t) Hashtbl.t = Hashtbl.create 8
+
+(* Hot callers (the fuzz loop) resolve the same physical diagram every
+   iteration: a small identity list dodges the structural hash of the
+   whole field list.  The structural table behind it still deduplicates
+   equal-but-distinct diagrams across pipeline runs. *)
+let phys_cache : (Hd.t * t) list ref = ref []
+let phys_cache_cap = 64
+
+let of_layout layout =
+  let rec find = function
+    | [] -> None
+    | (hd, t) :: rest -> if hd == layout then Some t else find rest
+  in
+  match find !phys_cache with
+  | Some t -> t
+  | None ->
+    let t =
+      match Hashtbl.find_opt cache layout with
+      | Some t -> t
+      | None ->
+        let t = build layout in
+        Hashtbl.add cache layout t;
+        t
+    in
+    phys_cache :=
+      (layout, t)
+      :: (if List.length !phys_cache >= phys_cache_cap then
+            List.filteri (fun i _ -> i < phys_cache_cap - 1) !phys_cache
+          else !phys_cache);
+    t
+
+(* Write [bits] bits of [v], big-endian, at [bit_off] into [buf].
+   Byte-aligned fields overwrite whole bytes; the unaligned path only
+   ORs one-bits in, so it assumes a zeroed destination (all packing
+   below starts from a fresh zero buffer).
+
+   Fields of 32 bits or fewer — all but the 64-bit NTP timestamps —
+   take a native-int path: without flambda every [Int64] intermediate
+   is a heap box, and bit packing runs several times per fuzz
+   execution. *)
+let write_bits buf ~bit_off ~bits v =
+  if bits <= 32 then begin
+    (* only the low [bits] bits are consumed, so truncating the box to
+       a 63-bit native int loses nothing *)
+    let v = Int64.to_int v in
+    if bit_off land 7 = 0 && bits land 7 = 0 then begin
+      let base = bit_off lsr 3 and n = bits lsr 3 in
+      for k = 0 to n - 1 do
+        Bytes.set buf (base + k)
+          (Char.chr ((v lsr ((n - 1 - k) * 8)) land 0xff))
+      done
+    end
+    else
+      for i = 0 to bits - 1 do
+        if (v lsr (bits - 1 - i)) land 1 = 1 then begin
+          let pos = bit_off + i in
+          let byte = pos lsr 3 and in_byte = pos land 7 in
+          Bytes.set buf byte
+            (Char.chr (Char.code (Bytes.get buf byte) lor (0x80 lsr in_byte)))
+        end
+      done
+  end
+  else if bit_off land 7 = 0 && bits land 7 = 0 then begin
+    let base = bit_off lsr 3 and n = bits lsr 3 in
+    for k = 0 to n - 1 do
+      Bytes.set buf (base + k)
+        (Char.chr
+           (Int64.to_int
+              (Int64.logand
+                 (Int64.shift_right_logical v ((n - 1 - k) * 8))
+                 0xffL)))
+    done
+  end
+  else
+    for i = 0 to bits - 1 do
+      let bit =
+        Int64.to_int
+          (Int64.logand (Int64.shift_right_logical v (bits - 1 - i)) 1L)
+      in
+      if bit = 1 then begin
+        let pos = bit_off + i in
+        let byte = pos lsr 3 and in_byte = pos land 7 in
+        Bytes.set buf byte
+          (Char.chr (Char.code (Bytes.get buf byte) lor (0x80 lsr in_byte)))
+      end
+    done
+
+let read_bits b ~bit_off ~bits =
+  if bits <= 32 then begin
+    (* native accumulation, one box for the result *)
+    let v = ref 0 in
+    if bit_off land 7 = 0 && bits land 7 = 0 then begin
+      let base = bit_off lsr 3 and n = bits lsr 3 in
+      for k = 0 to n - 1 do
+        v := (!v lsl 8) lor Char.code (Bytes.get b (base + k))
+      done
+    end
+    else
+      for i = 0 to bits - 1 do
+        let pos = bit_off + i in
+        let byte = pos lsr 3 and in_byte = pos land 7 in
+        v := (!v lsl 1) lor ((Char.code (Bytes.get b byte) lsr (7 - in_byte)) land 1)
+      done;
+    Int64.of_int !v
+  end
+  else if bit_off land 7 = 0 && bits land 7 = 0 then begin
+    let base = bit_off lsr 3 and n = bits lsr 3 in
+    let v = ref 0L in
+    for k = 0 to n - 1 do
+      v :=
+        Int64.logor (Int64.shift_left !v 8)
+          (Int64.of_int (Char.code (Bytes.get b (base + k))))
+    done;
+    !v
+  end
+  else begin
+    let v = ref 0L in
+    for i = 0 to bits - 1 do
+      let pos = bit_off + i in
+      let byte = pos lsr 3 and in_byte = pos land 7 in
+      let bit = (Char.code (Bytes.get b byte) lsr (7 - in_byte)) land 1 in
+      v := Int64.logor (Int64.shift_left !v 1) (Int64.of_int bit)
+    done;
+    !v
+  end
+
+(* Decode the fixed fields of [b] into [slots] (length [nslots]).  The
+   caller has checked [Bytes.length b >= fixed_bytes].  Later fields
+   sharing a slot overwrite earlier ones, like Hashtbl.replace did. *)
+let read t b slots =
+  let fields = t.fields in
+  for i = 0 to Array.length fields - 1 do
+    let f = Array.unsafe_get fields i in
+    slots.(f.slot) <- read_bits b ~bit_off:f.bit_off ~bits:f.bits
+  done
+
+(* Pack a field subset: offsets relative to the first packed field, the
+   same convention as [Packet_view.pack_fields].  [zero_slot] substitutes
+   zero for one slot (the checksum-computation primitives). *)
+let pack_fields ?(zero_slot = -1) ~fields ~nbytes slots ~data =
+  let base_off =
+    match Array.length fields with 0 -> 0 | _ -> fields.(0).bit_off
+  in
+  let dlen = Bytes.length data in
+  let out = Bytes.make (nbytes + dlen) '\000' in
+  for i = 0 to Array.length fields - 1 do
+    let f = Array.unsafe_get fields i in
+    let v = if f.slot = zero_slot then 0L else slots.(f.slot) in
+    write_bits out ~bit_off:(f.bit_off - base_off) ~bits:f.bits v
+  done;
+  if dlen > 0 then Bytes.blit data 0 out nbytes dlen;
+  out
+
+let pack ?zero_slot t slots ~data =
+  pack_fields ?zero_slot ~fields:t.fields ~nbytes:t.fixed_bytes slots ~data
+
+(* [pack_fields] into a caller-owned scratch buffer — for byte images
+   that are consumed immediately (checksum sums) and never retained, so
+   the hot path skips the allocation.  Zeroes the packed prefix first
+   (the unaligned bit path only ORs one-bits in) and returns the packed
+   length; [buf] must be at least [nbytes + length data] long. *)
+let pack_fields_into ?(zero_slot = -1) ~fields ~nbytes slots ~data buf =
+  let base_off =
+    match Array.length fields with 0 -> 0 | _ -> fields.(0).bit_off
+  in
+  let dlen = Bytes.length data in
+  let len = nbytes + dlen in
+  Bytes.fill buf 0 len '\000';
+  for i = 0 to Array.length fields - 1 do
+    let f = Array.unsafe_get fields i in
+    let v = if f.slot = zero_slot then 0L else slots.(f.slot) in
+    write_bits buf ~bit_off:(f.bit_off - base_off) ~bits:f.bits v
+  done;
+  if dlen > 0 then Bytes.blit data 0 buf nbytes dlen;
+  len

@@ -1,0 +1,10 @@
+(* The differential-oracle analogue of [Sage_fuzz.Seeded_bug]: instead
+   of tampering with the IR (which both backends would faithfully
+   execute, agreeing with each other), the compiled backend is asked —
+   via [load ~divergence:fn] — to mis-compile the computed checksum
+   assignment of one function to the seeded-bug constant.  The
+   interpreter still executes the correct IR, so the two backends
+   disagree on exactly the packets that reach that assignment, and the
+   backend-agreement oracle must report it. *)
+
+let default_target = "icmp_echo_reply_receiver"

@@ -1,0 +1,9 @@
+(** Seeded backend divergence: the fixture proving the
+    backend-agreement oracle catches a mis-compilation.  Pass
+    [~divergence:default_target] to {!Backend.load} (or [--seeded-divergence]
+    to [sage fuzz]) and the compiled backend deliberately compiles that
+    function's computed checksum assignment to a wrong constant while
+    the interpreter stays faithful. *)
+
+val default_target : string
+(** The generated function the fixture mis-compiles. *)

@@ -89,8 +89,8 @@ let run_schedule ?trace ~workload:(w : Workload.t) schedule =
     schedule;
   w.Workload.check ~heal_ticks
 
-let run ?trace ?metrics ?(soak = 0) ?(wedge = false) ~seed ~scenarios ~corpora
-    () =
+let run ?trace ?metrics ?backend ?(soak = 0) ?(wedge = false) ~seed ~scenarios
+    ~corpora () =
   let incr_m ?by name =
     match metrics with None -> () | Some m -> Metrics.incr ?by m name
   in
@@ -110,7 +110,7 @@ let run ?trace ?metrics ?(soak = 0) ?(wedge = false) ~seed ~scenarios ~corpora
                 let w =
                   match
                     Workload.for_corpus ~corpus:c.corpus ~stack
-                      ~run:c.generated_run ?trace ~seed:cseed ()
+                      ~run:c.generated_run ?trace ?backend ~seed:cseed ()
                   with
                   | Ok w -> w
                   | Error e -> invalid_arg e

@@ -41,6 +41,7 @@ type t = {
 val run :
   ?trace:Sage_trace.Trace.t ->
   ?metrics:Sage_sched.Metrics.t ->
+  ?backend:Sage_backend.Backend.choice ->
   ?soak:int ->
   ?wedge:bool ->
   seed:int ->
@@ -48,8 +49,9 @@ val run :
   corpora:corpus_case list ->
   unit ->
   t
-(** [soak] stretches every schedule's final heal window by that many
-    ticks.  [wedge] arms the {!Seeded_wedge} no-recovery fixture on
+(** [backend] selects the execution backend for generated stacks
+    (default: the interpreter).  [soak] stretches every schedule's
+    final heal window by that many ticks.  [wedge] arms the {!Seeded_wedge} no-recovery fixture on
     every workload.  [metrics] receives the [chaos.*] counters
     ([chaos.cases], [chaos.ticks], [chaos.episodes], [chaos.violations],
     [chaos.shrink_steps]) that {!Sage.Report.stats} surfaces.  [trace]

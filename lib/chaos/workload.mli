@@ -33,6 +33,7 @@ val for_corpus :
   stack:stack ->
   run:Sage.Pipeline.run Lazy.t ->
   ?trace:Sage_trace.Trace.t ->
+  ?backend:Sage_backend.Backend.choice ->
   seed:int ->
   unit ->
   (t, string) result

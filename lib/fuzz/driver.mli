@@ -1,6 +1,7 @@
-(** Single fuzz execution: candidate packet -> interpreter run over the
-    generated IR, with a seeded environment captured up front so
-    shrinking replays the identical run on smaller inputs. *)
+(** Single fuzz execution: candidate packet -> one run of a loaded
+    execution backend over the generated IR, with a seeded environment
+    captured up front so shrinking (and differential re-execution on
+    the alternate backend) replays the identical run. *)
 
 type env = {
   params : (string * Sage_interp.Runtime.value) list;
@@ -17,22 +18,19 @@ val local_discr : int64
 (** The BFD local discriminator installed in [bfd.LocalDiscr] (1, a
     boundary-biased generator value, so session lookup can succeed). *)
 
-type outcome = {
-  view : Sage_interp.Packet_view.t;
-  discarded : bool;
-  error : string option;
-  output : bytes;
-  assigns_checksum : bool;
-}
+val backend_env :
+  env:env -> Sage_backend.Backend.loaded -> bytes -> Sage_backend.Backend.env
+(** The captured environment lowered to the backend contract for this
+    function and packet (payload_length included, request header
+    attached for receivers). *)
 
 val exec :
   ?coverage:Sage_interp.Coverage.t ->
   ?trace:Sage_trace.Trace.t ->
   env:env ->
-  Sage_codegen.Ir.func ->
-  Sage_rfc.Header_diagram.t ->
+  Sage_backend.Backend.loaded ->
   bytes ->
-  (outcome, string) result
+  (Sage_backend.Backend.outcome, string) result
 (** [Error _] = structural reject (packet shorter than the layout's
-    fixed header); [Ok outcome] otherwise, with any interpreter
-    [Runtime_error] captured in [outcome.error]. *)
+    fixed header); [Ok outcome] otherwise, with any runtime error
+    captured in [outcome.error]. *)

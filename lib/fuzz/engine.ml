@@ -2,20 +2,29 @@
 
    Round-robin over the protocol's generated functions; each iteration
    draws an environment and a candidate packet (fresh from the layout
-   grammar, or a mutation of a kept corpus entry), executes it under
-   the interpreter with statement-coverage instrumentation, and runs
+   grammar, or a mutation of a kept corpus entry), executes it on the
+   selected backend with statement-coverage instrumentation, and runs
    the oracle suite.  Inputs that light up new coverage join the
    per-function corpus; the first violation per function is shrunk
    greedily and recorded as a finding.
 
+   When differential execution is on (the default whenever the primary
+   backend is the compiled one), the same (packet, environment) also
+   runs on the alternate backend — without coverage, tracing or any RNG
+   draw, so the primary stream is untouched — and the backend-agreement
+   oracle compares the two outcomes.  Every fuzz iteration is then an
+   interp-vs-compiled differential test for free.
+
    The engine is strictly sequential and draws every random value from
-   one splitmix64 stream, so a (seed, iters, protocol) triple produces
-   byte-identical results on every run, platform and --jobs setting. *)
+   one splitmix64 stream, so a (seed, iters, protocol, backend) tuple
+   produces byte-identical results on every run, platform and --jobs
+   setting. *)
 
 module Ir = Sage_codegen.Ir
 module Coverage = Sage_interp.Coverage
 module Trace = Sage_trace.Trace
 module Metrics = Sage_sched.Metrics
+module Backend = Sage_backend.Backend
 
 type finding = {
   fn : string;
@@ -30,7 +39,7 @@ type result = {
   protocol : string;
   seed : int;
   iters : int;
-  executions : int;  (** packets that reached the interpreter *)
+  executions : int;  (** packets that reached the backend *)
   rejected : int;  (** structural rejects (shorter than fixed header) *)
   corpus : int;  (** inputs kept for new coverage *)
   findings : finding list;  (** oldest first, at most one per function *)
@@ -42,87 +51,143 @@ let corpus_cap = 32
 
 (* Re-run [packet] and report its violation, if any.  Shrink runs use
    no coverage sink: coverage counts fuzz iterations only. *)
-let violation_of ~protocol ~env f layout packet =
-  match Driver.exec ~env f layout packet with
+let violation_of ~protocol ~env ?alt prog packet =
+  match Driver.exec ~env prog packet with
   | Error _ -> None
-  | Ok outcome -> Oracle.check ~protocol ~packet outcome
+  | Ok outcome ->
+    let other = Option.map (fun ap -> Driver.exec ~env ap packet) alt in
+    Oracle.check ~protocol ~packet ?other outcome
 
 let shrink_budget = Shrink.default_budget
 
 (* Greedy descent: take the first simpler candidate that still violates
    the same oracle; stop when none does (or the budget runs out). *)
-let shrink ~protocol ~env f layout ~kind packet =
+let shrink ~protocol ~env ?alt prog ~kind packet =
   Shrink.minimize ~budget:shrink_budget ~candidates:Gen.shrink_candidates
     ~still_failing:(fun c ->
-      match violation_of ~protocol ~env f layout c with
+      match violation_of ~protocol ~env ?alt prog c with
       | Some v when v.Oracle.kind = kind -> Some v.Oracle.detail
       | _ -> None)
     packet
 
-let run ?trace ?metrics ~seed ~iters ~protocol targets =
+let run ?trace ?metrics ?(backend = Backend.Interp) ?differential ?divergence
+    ~seed ~iters ~protocol targets =
+  let differential =
+    match differential with
+    | Some d -> d
+    | None -> backend = Backend.Compiled
+  in
   let rng = Rng.of_seed seed in
   let coverage = Coverage.create () in
-  let corpus : (string, bytes list) Hashtbl.t = Hashtbl.create 16 in
   let findings = ref [] in
   let executions = ref 0 and rejected = ref 0 and interesting = ref 0 in
   let ntargets = Array.of_list targets in
   if Array.length ntargets = 0 then invalid_arg "Sage_fuzz.Engine.run: no targets";
-  for i = 0 to iters - 1 do
-    let f, layout = ntargets.(i mod Array.length ntargets) in
-    let fn = f.Ir.fn_name in
+  (* load every target once up front: field resolution and closure
+     compilation are per-function costs, not per-iteration ones *)
+  let progs =
+    Array.map
+      (fun (f, layout) -> Backend.load ?divergence backend ~layout f)
+      ntargets
+  in
+  (* per-function corpora, indexed by round-robin slot: the hot loop
+     never hashes a function name.  Lengths are tracked alongside so
+     corpus selection never walks a list to count it. *)
+  let corpus = Array.make (Array.length ntargets) [] in
+  let corpus_len = Array.make (Array.length ntargets) 0 in
+  let alts =
+    if differential then
+      Some
+        (Array.map
+           (fun (f, layout) ->
+             Backend.load ?divergence (Backend.other backend) ~layout f)
+           ntargets)
+    else None
+  in
+  (* one closure for the whole run, not one per iteration: the loop
+     body allocates nothing of its own beyond the candidate packet *)
+  let iteration slot =
+    let prog = progs.(slot) in
+    let fn = prog.Backend.func.Ir.fn_name in
     let env = Driver.env_of rng in
-    let kept = try Hashtbl.find corpus fn with Not_found -> [] in
+    let kept = corpus.(slot) in
     let packet =
       match kept with
-      | _ :: _ when Rng.int_below rng 4 > 0 ->
-        Gen.mutate rng layout (Rng.pick rng kept)
-      | _ -> Gen.packet rng layout
+      | [] -> Gen.packet rng prog.Backend.layout
+      | _ :: _ ->
+        (* one advance covers both the mutate-vs-fresh choice (3/4
+           mutate, as before) and the corpus index *)
+        let b = Rng.bits32 rng in
+        if b land 3 > 0 then
+          Gen.mutate rng prog.Backend.layout
+            (List.nth kept ((b lsr 2) mod corpus_len.(slot)))
+        else Gen.packet rng prog.Backend.layout
     in
-    Trace.with_span ~cat:"fuzz"
-      ~args:[ ("fn", Trace.Str fn); ("iter", Trace.Int i) ]
-      trace "fuzz-iteration"
-      (fun () ->
-        let before = Coverage.covered coverage in
-        match Driver.exec ~coverage ?trace ~env f layout packet with
-        | Error _ -> incr rejected
-        | Ok outcome ->
-          incr executions;
-          let after = Coverage.covered coverage in
-          if after > before then begin
-            incr interesting;
-            Hashtbl.replace corpus fn
-              (packet
-              :: (if List.length kept >= corpus_cap then
-                    List.filteri (fun j _ -> j < corpus_cap - 1) kept
-                  else kept));
-            Trace.instant ~cat:"fuzz"
-              ~args:[ ("fn", Trace.Str fn); ("covered", Trace.Int after) ]
-              trace "coverage-hit"
-          end;
-          if not (List.exists (fun fd -> fd.fn = fn) !findings) then begin
-            match Oracle.check ~protocol ~packet outcome with
-            | None -> ()
-            | Some v ->
-              let shrunk, shrunk_detail, shrink_steps =
-                shrink ~protocol ~env f layout ~kind:v.Oracle.kind packet
-              in
-              let detail =
-                match shrunk_detail with
-                | Some d -> d
-                | None -> v.Oracle.detail
-              in
-              Trace.instant ~cat:"fuzz"
-                ~args:
-                  [ ("fn", Trace.Str fn);
-                    ("oracle", Trace.Str (Oracle.kind_name v.Oracle.kind));
-                  ]
-                trace "finding";
-              findings :=
-                { fn; kind = v.Oracle.kind; packet; shrunk; detail;
-                  shrink_steps }
-                :: !findings
-          end)
-  done;
+    let before = Coverage.covered coverage in
+    match Driver.exec ~coverage ?trace ~env prog packet with
+    | Error _ -> incr rejected
+    | Ok outcome ->
+      incr executions;
+      let after = Coverage.covered coverage in
+      if after > before then begin
+        incr interesting;
+        (if corpus_len.(slot) >= corpus_cap then
+           corpus.(slot) <-
+             packet :: List.filteri (fun j _ -> j < corpus_cap - 1) kept
+         else begin
+           corpus.(slot) <- packet :: kept;
+           corpus_len.(slot) <- corpus_len.(slot) + 1
+         end);
+        Trace.instant ~cat:"fuzz"
+          ~args:[ ("fn", Trace.Str fn); ("covered", Trace.Int after) ]
+          trace "coverage-hit"
+      end;
+      if not (List.exists (fun fd -> fd.fn = fn) !findings) then begin
+        (* the differential arm: same packet and environment on the
+           alternate backend, no coverage/trace, no RNG draw *)
+        let other =
+          Option.map
+            (fun aps -> Driver.exec ~env aps.(slot) packet)
+            alts
+        in
+        match Oracle.check ~protocol ~packet ?other outcome with
+        | None -> ()
+        | Some v ->
+          let alt = Option.map (fun aps -> aps.(slot)) alts in
+          let shrunk, shrunk_detail, shrink_steps =
+            shrink ~protocol ~env ?alt prog ~kind:v.Oracle.kind packet
+          in
+          let detail =
+            match shrunk_detail with
+            | Some d -> d
+            | None -> v.Oracle.detail
+          in
+          Trace.instant ~cat:"fuzz"
+            ~args:
+              [ ("fn", Trace.Str fn);
+                ("oracle", Trace.Str (Oracle.kind_name v.Oracle.kind));
+              ]
+            trace "finding";
+          findings :=
+            { fn; kind = v.Oracle.kind; packet; shrunk; detail;
+              shrink_steps }
+            :: !findings
+      end
+  in
+  (match trace with
+   | None ->
+     for i = 0 to iters - 1 do
+       iteration (i mod Array.length ntargets)
+     done
+   | Some _ ->
+     for i = 0 to iters - 1 do
+       let slot = i mod Array.length ntargets in
+       let fn = progs.(slot).Backend.func.Ir.fn_name in
+       Trace.with_span ~cat:"fuzz"
+         ~args:[ ("fn", Trace.Str fn); ("iter", Trace.Int i) ]
+         trace "fuzz-iteration"
+         (fun () -> iteration slot)
+     done);
   let funcs = List.map fst targets in
   let covered, points = Coverage.totals coverage funcs in
   (match metrics with

@@ -1,6 +1,6 @@
 (** The coverage-guided differential fuzz loop: sequential, fully
-    seeded, byte-identical output for a fixed (seed, iters, protocol)
-    on every platform and [--jobs] setting. *)
+    seeded, byte-identical output for a fixed (seed, iters, protocol,
+    backend) on every platform and [--jobs] setting. *)
 
 type finding = {
   fn : string;
@@ -26,13 +26,25 @@ type result = {
 val run :
   ?trace:Sage_trace.Trace.t ->
   ?metrics:Sage_sched.Metrics.t ->
+  ?backend:Sage_backend.Backend.choice ->
+  ?differential:bool ->
+  ?divergence:string ->
   seed:int ->
   iters:int ->
   protocol:string ->
   (Sage_codegen.Ir.func * Sage_rfc.Header_diagram.t) list ->
   result
 (** Fuzz the given (function, layout) targets round-robin for [iters]
-    iterations.  Raises [Invalid_argument] on an empty target list.
+    iterations on [backend] (default [Interp]).  Raises
+    [Invalid_argument] on an empty target list.
+
+    [differential] (default: on iff [backend] is [Compiled]) re-runs
+    every checked iteration on the alternate backend — consuming no
+    randomness, coverage or tracing — and feeds the pair to the
+    backend-agreement oracle.  [divergence] names a function the
+    compiled backend deliberately mis-compiles (the seeded
+    differential fixture).
+
     Emits [fuzz-iteration] spans, [coverage-hit] / [finding] instants
     and a coverage counter to [trace]; bumps [fuzz.*] counters on
     [metrics]. *)
@@ -40,14 +52,16 @@ val run :
 val shrink :
   protocol:string ->
   env:Driver.env ->
-  Sage_codegen.Ir.func ->
-  Sage_rfc.Header_diagram.t ->
+  ?alt:Sage_backend.Backend.loaded ->
+  Sage_backend.Backend.loaded ->
   kind:Oracle.kind ->
   bytes ->
   bytes * string option * int
 (** Greedy minimization keeping the same oracle violated: the shrunk
     packet, the violation detail on it, and the number of accepted
-    shrink steps (bounded budget). *)
+    shrink steps (bounded budget).  [alt], when given, re-runs every
+    candidate differentially so backend-agreement findings shrink
+    faithfully. *)
 
 val summary : result -> string
 (** Deterministic human-readable report (no wall-clock content). *)

@@ -6,7 +6,7 @@
    and checksum corruption targets the recovered checksum field. *)
 
 module Hd = Sage_rfc.Header_diagram
-module Pv = Sage_interp.Packet_view
+module L = Sage_backend.Layout
 
 let mask_of_bits bits =
   if bits >= 64 then -1L else Int64.sub (Int64.shift_left 1L bits) 1L
@@ -30,20 +30,49 @@ let data_tail rng =
   | 0 | 1 -> Bytes.empty
   | _ ->
     let n = Rng.range rng 1 24 in
-    Bytes.init n (fun _ -> Char.chr (Rng.int_below rng 256))
+    (* four tail bytes per generator advance, not one per byte *)
+    let b = Bytes.create n in
+    let i = ref 0 in
+    while !i < n do
+      let w = Rng.bits32 rng in
+      let stop = min n (!i + 4) in
+      let k = ref 0 in
+      while !i < stop do
+        Bytes.unsafe_set b !i (Char.unsafe_chr ((w lsr (!k * 8)) land 0xff));
+        incr i;
+        incr k
+      done
+    done;
+    b
 
 (* A structurally valid packet for the layout: fixed header fully
-   present, boundary-biased values, sometimes a variable-length tail. *)
+   present, boundary-biased values, sometimes a variable-length tail.
+   Runs over the compiled layout — a slot array and one pack, no
+   hashtable view — but draws in layout-field order and packs
+   big-endian exactly as the view-based generator did, so a given RNG
+   state yields byte-identical packets (asserted by the backend test
+   suite). *)
+(* Scratch slot array, reused across calls (generation is sequential
+   and [L.pack] copies the values out).  Every slot is overwritten
+   before packing — each slot belongs to at least one fixed field. *)
+let scratch_cache : (L.t * int64 array) list ref = ref []
+
+let scratch_slots cl =
+  match List.assq_opt cl !scratch_cache with
+  | Some a -> a
+  | None ->
+    let a = Array.make (max 1 cl.L.nslots) 0L in
+    scratch_cache := (cl, a) :: !scratch_cache;
+    a
+
 let packet rng (layout : Hd.t) =
-  let v = Pv.create layout in
-  List.iter
-    (fun (f : Hd.field) ->
-      if not f.Hd.variable then
-        match Pv.set v f.Hd.name (field_value rng ~bits:f.Hd.bits) with
-        | Ok () | Error _ -> ())
-    layout.Hd.fields;
-  Pv.set_data v (data_tail rng);
-  Pv.serialize v
+  let cl = L.of_layout layout in
+  let slots = scratch_slots cl in
+  Array.iter
+    (fun (f : L.field) -> slots.(f.L.slot) <- field_value rng ~bits:f.L.bits)
+    cl.L.fields;
+  let data = data_tail rng in
+  L.pack cl slots ~data
 
 (* Byte offsets where a fixed field starts on a byte boundary — the
    interesting truncation points. *)
@@ -62,6 +91,21 @@ let checksum_byte (layout : Hd.t) =
         Some (f.Hd.bit_offset / 8)
       else None)
     layout.Hd.fields
+
+(* Truncation offsets and the checksum byte are layout constants:
+   resolve them once per compiled layout (physical identity, like
+   [L.of_layout]'s fast path) instead of walking the field list on
+   every mutation. *)
+let geom_cache : (L.t * (int list * int option)) list ref = ref []
+
+let geometry (layout : Hd.t) =
+  let cl = L.of_layout layout in
+  match List.assq_opt cl !geom_cache with
+  | Some g -> g
+  | None ->
+    let g = (field_boundaries layout, checksum_byte layout) in
+    geom_cache := (cl, g) :: !geom_cache;
+    g
 
 (* One seeded mutation of [b].  All mutants of a non-empty input are
    non-empty except field-boundary truncation at offset 0. *)
@@ -84,15 +128,17 @@ let mutate rng (layout : Hd.t) b =
       b
     | 2 ->
       (* field-boundary truncation *)
-      let cuts = List.filter (fun o -> o < len) (field_boundaries layout) in
+      let boundaries, _ = geometry layout in
+      let cuts = List.filter (fun o -> o < len) boundaries in
       let cut = match cuts with [] -> Rng.int_below rng len | _ -> Rng.pick rng cuts in
       Bytes.sub b 0 cut
     | 3 ->
       (* checksum corruption: step the recovered checksum field (or the
          last byte when the layout has none) so near-valid packets with
          a just-wrong checksum are common *)
+      let _, csum = geometry layout in
       let i =
-        match checksum_byte layout with
+        match csum with
         | Some o when o + 1 < len -> o + 1
         | _ -> len - 1
       in

@@ -4,13 +4,19 @@
    violation, so a given (function, packet, env) yields a deterministic
    single verdict.
 
-   - Never_raise: the interpreter must discard or finish, never raise a
+   - Never_raise: the backend must discard or finish, never raise a
      runtime error or exhaust the step budget.
    - Round_trip: deserialize-then-serialize is the identity on the
      bytes the layout covers (encode . decode = id).
    - Decoder_agreement: on packets both sides accept, every field the
      hand-written reference decoder reports must equal what the
-     interpreter's packet view read from the same bytes.
+     executing backend's packet view read from the same bytes.
+   - Backend_agreement: when the iteration also ran the alternate
+     execution backend, the two outcomes must be observably identical
+     — discard decision, error, output bytes, sends, calls, final IP
+     header and state.  Runs before the checksum oracles so a
+     mis-compilation surfaces as the divergence it is, not as the
+     checksum failure it causes.
    - Checksum: when the generated function assigns the protocol
      checksum and did not discard, the produced message must verify
      under the reference Internet-checksum (whole-message range — the
@@ -19,15 +25,16 @@
      accepts must also pass its checksum verification (the generated
      sender must not emit near-valid-but-corrupt messages). *)
 
-module Pv = Sage_interp.Packet_view
 module Checksum = Sage_net.Checksum
 module Observe = Sage_net.Observe
 module Icmp = Sage_net.Icmp
+module Backend = Sage_backend.Backend
 
 type kind =
   | Never_raise
   | Round_trip
   | Decoder_agreement
+  | Backend_agreement
   | Checksum
   | Verified_output
 
@@ -35,6 +42,7 @@ let kind_name = function
   | Never_raise -> "never-raise"
   | Round_trip -> "round-trip"
   | Decoder_agreement -> "decoder-agreement"
+  | Backend_agreement -> "backend-agreement"
   | Checksum -> "checksum"
   | Verified_output -> "verified-output"
 
@@ -50,30 +58,30 @@ let hex b =
    checksum; NTP delegates to the UDP encapsulation.) *)
 let whole_message_checksum = [ "ICMP"; "IGMP"; "TCP" ]
 
-let check_never_raise (o : Driver.outcome) =
-  match o.Driver.error with
+let check_never_raise (o : Backend.outcome) =
+  match o.Backend.error with
   | Some e -> Some { kind = Never_raise; detail = e }
   | None -> None
 
-let check_round_trip ~packet (o : Driver.outcome) =
-  let reserialized = Pv.serialize o.Driver.view in
-  if Bytes.equal reserialized packet then None
+let check_round_trip ~packet (o : Backend.outcome) =
+  if Bytes.equal o.Backend.reserialized packet then None
   else
     Some
       {
         kind = Round_trip;
         detail =
           Printf.sprintf "decode/encode not identity: in [%s] out [%s]"
-            (hex packet) (hex reserialized);
+            (hex packet)
+            (hex o.Backend.reserialized);
       }
 
-let check_decoder_agreement ~protocol ~packet (o : Driver.outcome) =
+let check_decoder_agreement ~protocol ~packet (o : Backend.outcome) =
   match Observe.fields ~protocol packet with
   | None -> None (* reference decoder rejected or absent: one-sided *)
   | Some observations ->
     List.find_map
       (fun (name, expected) ->
-        match Pv.get o.Driver.view name with
+        match o.Backend.read_field name with
         | Error _ -> None (* field not in this function's layout *)
         | Ok got ->
           if Int64.equal got expected then None
@@ -89,31 +97,50 @@ let check_decoder_agreement ~protocol ~packet (o : Driver.outcome) =
               })
       observations
 
-let check_checksum ~protocol (o : Driver.outcome) =
+let check_backend_agreement ~other (o : Backend.outcome) =
+  match other with
+  | None -> None
+  | Some (Error e) ->
+    (* the primary backend accepted the packet structurally *)
+    Some
+      {
+        kind = Backend_agreement;
+        detail =
+          Printf.sprintf "%s backend rejected a packet %s accepted: %s"
+            (Backend.choice_name (Backend.other o.Backend.backend))
+            (Backend.choice_name o.Backend.backend)
+            e;
+      }
+  | Some (Ok alt) ->
+    (match Backend.diff o alt with
+     | None -> None
+     | Some detail -> Some { kind = Backend_agreement; detail })
+
+let check_checksum ~protocol (o : Backend.outcome) =
   if
-    o.Driver.assigns_checksum
-    && (not o.Driver.discarded)
+    o.Backend.assigns_checksum
+    && (not o.Backend.discarded)
     && List.mem protocol whole_message_checksum
-    && not (Checksum.verify o.Driver.output)
+    && not (Checksum.verify o.Backend.output)
   then
     Some
       {
         kind = Checksum;
         detail =
           Printf.sprintf "produced message fails checksum verification: [%s]"
-            (hex o.Driver.output);
+            (hex o.Backend.output);
       }
   else None
 
-let check_verified_output ~protocol (o : Driver.outcome) =
+let check_verified_output ~protocol (o : Backend.outcome) =
   (* ICMP only: its reference checksum_ok covers the whole message.
      (IGMP's checksum_ok verifies just the 8 header bytes, which a
      variable tail would legitimately break.) *)
-  if protocol = "ICMP" && not o.Driver.discarded then
-    match Icmp.decode o.Driver.output with
+  if protocol = "ICMP" && not o.Backend.discarded then
+    match Icmp.decode o.Backend.output with
     | Error _ -> None
     | Ok _ ->
-      if Icmp.checksum_ok o.Driver.output then None
+      if Icmp.checksum_ok o.Backend.output then None
       else
         Some
           {
@@ -121,11 +148,11 @@ let check_verified_output ~protocol (o : Driver.outcome) =
             detail =
               Printf.sprintf
                 "decodable ICMP output fails checksum verification: [%s]"
-                (hex o.Driver.output);
+                (hex o.Backend.output);
           }
   else None
 
-let check ~protocol ~packet (o : Driver.outcome) =
+let check ~protocol ~packet ?other (o : Backend.outcome) =
   match check_never_raise o with
   | Some v -> Some v
   | None -> (
@@ -135,6 +162,9 @@ let check ~protocol ~packet (o : Driver.outcome) =
       match check_decoder_agreement ~protocol ~packet o with
       | Some v -> Some v
       | None -> (
-        match check_checksum ~protocol o with
+        match check_backend_agreement ~other o with
         | Some v -> Some v
-        | None -> check_verified_output ~protocol o)))
+        | None -> (
+          match check_checksum ~protocol o with
+          | Some v -> Some v
+          | None -> check_verified_output ~protocol o))))

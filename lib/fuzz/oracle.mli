@@ -4,10 +4,12 @@
     yields one deterministic verdict. *)
 
 type kind =
-  | Never_raise  (** no interpreter runtime error / budget exhaustion *)
+  | Never_raise  (** no runtime error / budget exhaustion *)
   | Round_trip  (** serialize (deserialize p) = p *)
   | Decoder_agreement
-      (** reference decoder and interpreter view agree on input fields *)
+      (** reference decoder and executing backend agree on input fields *)
+  | Backend_agreement
+      (** interpreter and compiled backend produce identical outcomes *)
   | Checksum  (** produced message verifies (whole-message range) *)
   | Verified_output
       (** decodable ICMP output also passes checksum verification *)
@@ -17,6 +19,12 @@ val kind_name : kind -> string
 type violation = { kind : kind; detail : string }
 
 val check :
-  protocol:string -> packet:bytes -> Driver.outcome -> violation option
+  protocol:string ->
+  packet:bytes ->
+  ?other:(Sage_backend.Backend.outcome, string) result ->
+  Sage_backend.Backend.outcome ->
+  violation option
 (** First violated oracle for this execution, if any.  [protocol] is
-    the uppercase spec name ("ICMP", "BFD", ...). *)
+    the uppercase spec name ("ICMP", "BFD", ...).  [other], when
+    given, is the same (packet, environment) executed on the alternate
+    backend — the differential arm of the suite. *)

@@ -2,32 +2,114 @@
    Promoted out of test/qcheck_lite.ml so library code (the fuzzer) and
    the property harness share one deterministic stream — independent of
    the stdlib Random module, whose sequence changed across OCaml
-   versions and is domain-local on OCaml 5. *)
+   versions and is domain-local on OCaml 5.
 
-type t = { mutable state : int64 }
+   The 64-bit state lives in two 32-bit native-int limbs and the whole
+   mix runs on native ints: without flambda every [Int64] operation
+   boxes its result, and the fuzz loop draws a dozen values per
+   iteration.  The limb arithmetic reproduces two's-complement 64-bit
+   add/multiply/xorshift exactly, so the stream is bit-identical to the
+   boxed [Int64] formulation (asserted by the test suite). *)
+
+type t = {
+  mutable hi : int;  (* state bits 32..63 *)
+  mutable lo : int;  (* state bits 0..31 *)
+  mutable zhi : int;  (* last drawn value, same split *)
+  mutable zlo : int;
+}
+
+let mask16 = 0xFFFF
+let mask32 = 0xFFFFFFFF
+
+(* golden gamma 0x9E3779B97F4A7C15 *)
+let g_hi = 0x9E3779B9
+let g_lo = 0x7F4A7C15
 
 let of_seed seed =
   (* avoid the all-zero fixed point and decorrelate small seeds *)
-  { state = Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L }
+  let s = Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L in
+  {
+    hi = Int64.to_int (Int64.shift_right_logical s 32);
+    lo = Int64.to_int (Int64.logand s 0xFFFFFFFFL);
+    zhi = 0;
+    zlo = 0;
+  }
+
+(* advance the state and leave the mixed draw in [zhi]/[zlo] *)
+let step t =
+  let lo = t.lo + g_lo in
+  let hi = (t.hi + g_hi + (lo lsr 32)) land mask32 in
+  let lo = lo land mask32 in
+  t.hi <- hi;
+  t.lo <- lo;
+  (* z ^= z >>> 30 *)
+  let zhi = hi lxor (hi lsr 30)
+  and zlo = lo lxor (((hi lsl 2) lor (lo lsr 30)) land mask32) in
+  (* z *= 0xBF58476D1CE4E5B9 (16-bit school multiplication mod 2^64) *)
+  let a0 = zlo land mask16 and a1 = zlo lsr 16
+  and a2 = zhi land mask16 and a3 = zhi lsr 16 in
+  let t0 = a0 * 0xE5B9 in
+  let t1 = (a1 * 0xE5B9) + (a0 * 0x1CE4) + (t0 lsr 16) in
+  let t2 = (a2 * 0xE5B9) + (a1 * 0x1CE4) + (a0 * 0x476D) + (t1 lsr 16) in
+  let t3 =
+    (a3 * 0xE5B9) + (a2 * 0x1CE4) + (a1 * 0x476D) + (a0 * 0xBF58)
+    + (t2 lsr 16)
+  in
+  let zlo = (t0 land mask16) lor ((t1 land mask16) lsl 16)
+  and zhi = (t2 land mask16) lor ((t3 land mask16) lsl 16) in
+  (* z ^= z >>> 27 *)
+  let zhi = zhi lxor (zhi lsr 27)
+  and zlo = zlo lxor (((zhi lsl 5) lor (zlo lsr 27)) land mask32) in
+  (* z *= 0x94D049BB133111EB *)
+  let a0 = zlo land mask16 and a1 = zlo lsr 16
+  and a2 = zhi land mask16 and a3 = zhi lsr 16 in
+  let t0 = a0 * 0x11EB in
+  let t1 = (a1 * 0x11EB) + (a0 * 0x1331) + (t0 lsr 16) in
+  let t2 = (a2 * 0x11EB) + (a1 * 0x1331) + (a0 * 0x49BB) + (t1 lsr 16) in
+  let t3 =
+    (a3 * 0x11EB) + (a2 * 0x1331) + (a1 * 0x49BB) + (a0 * 0x94D0)
+    + (t2 lsr 16)
+  in
+  let zlo = (t0 land mask16) lor ((t1 land mask16) lsl 16)
+  and zhi = (t2 land mask16) lor ((t3 land mask16) lsl 16) in
+  (* z ^= z >>> 31 *)
+  t.zhi <- zhi lxor (zhi lsr 31);
+  t.zlo <- zlo lxor (((zhi lsl 1) lor (zlo lsr 31)) land mask32)
 
 let next_int64 t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
-  let z =
-    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
-  in
-  let z =
-    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
-  in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+  step t;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int t.zhi) 32)
+    (Int64.of_int t.zlo)
 
 let int_below t n =
   if n <= 0 then invalid_arg "Sage_fuzz.Rng.int_below";
-  Int64.to_int (Int64.rem (Int64.logand (next_int64 t) Int64.max_int) (Int64.of_int n))
+  step t;
+  (* (z land max_int) mod n — the low 63 bits are too wide for a native
+     int, so reduce the two halves separately; allocation-free for
+     every realistic bound *)
+  if n < 0x40000000 then
+    let hi31 = t.zhi land 0x7FFFFFFF in
+    (((hi31 mod n) * (0x100000000 mod n)) + (t.zlo mod n)) mod n
+  else
+    let v =
+      Int64.logor
+        (Int64.shift_left (Int64.of_int t.zhi) 32)
+        (Int64.of_int t.zlo)
+    in
+    Int64.to_int (Int64.rem (Int64.logand v Int64.max_int) (Int64.of_int n))
+
+(* 32 uniform bits as a native int, one step and no boxing — for
+   callers that slice several small draws out of one advance *)
+let bits32 t =
+  step t;
+  t.zlo
 
 let range t lo hi = lo + int_below t (hi - lo + 1)
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t =
+  step t;
+  t.zlo land 1 = 1
 
 let pick t xs = List.nth xs (int_below t (List.length xs))
 

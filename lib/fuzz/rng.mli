@@ -10,6 +10,10 @@ val next_int64 : t -> int64
 val int_below : t -> int -> int
 (** Uniform in [\[0, n)].  Raises [Invalid_argument] when [n <= 0]. *)
 
+val bits32 : t -> int
+(** 32 uniform bits as a native int — one generator step, no boxing.
+    For callers that slice several small draws out of one advance. *)
+
 val range : t -> int -> int -> int
 (** Uniform in [\[lo, hi\]] (inclusive). *)
 

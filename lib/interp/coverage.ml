@@ -9,19 +9,36 @@
 
 module Ir = Sage_codegen.Ir
 
-type t = { hits : (string * int, int) Hashtbl.t }
+(* Counters are interned [int ref]s so hot loops (the compiled backend)
+   can resolve a point once and bump the ref per hit instead of hashing
+   a (string, int) key every statement.  [distinct] counts refs that
+   left zero: interned-but-never-hit points don't count as covered. *)
+type t = {
+  hits : (string * int, int ref) Hashtbl.t;
+  mutable distinct : int;
+}
 
-let create () = { hits = Hashtbl.create 256 }
+let create () = { hits = Hashtbl.create 256; distinct = 0 }
 
-let hit t ~fn ~id =
+let counter t ~fn ~id =
   let key = (fn, id) in
-  Hashtbl.replace t.hits key
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.hits key))
+  match Hashtbl.find_opt t.hits key with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.hits key r;
+    r
+
+let bump t r =
+  if !r = 0 then t.distinct <- t.distinct + 1;
+  incr r
+
+let hit t ~fn ~id = bump t (counter t ~fn ~id)
 
 let hit_count t ~fn ~id =
-  Option.value ~default:0 (Hashtbl.find_opt t.hits (fn, id))
+  match Hashtbl.find_opt t.hits (fn, id) with Some r -> !r | None -> 0
 
-let covered t = Hashtbl.length t.hits
+let covered t = t.distinct
 
 (* The executable points of a function: every pre-order id except
    comments'.  This is the universe the interpreter can actually hit. *)

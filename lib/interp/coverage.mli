@@ -11,6 +11,14 @@ val create : unit -> t
 val hit : t -> fn:string -> id:int -> unit
 (** Record one execution of statement [id] of function [fn]. *)
 
+val counter : t -> fn:string -> id:int -> int ref
+(** The interned hit counter for one point, created at zero on first
+    request.  Interning alone does not mark the point covered. *)
+
+val bump : t -> int ref -> unit
+(** Record one hit on an interned counter — equivalent to {!hit} for
+    the point it was interned under, without re-hashing the key. *)
+
 val hit_count : t -> fn:string -> id:int -> int
 
 val covered : t -> int

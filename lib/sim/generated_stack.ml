@@ -1,15 +1,32 @@
+(* Driving SAGE-generated code as a protocol implementation: the bridge
+   between the pipeline's output and the simulated network.  All four
+   entry points lower to one shape — build the packet bytes, build the
+   backend environment, run the selected execution backend — so the
+   whole simulated stack (interop suite, chaos campaigns) runs on
+   either backend unchanged. *)
+
 module Rt = Sage_interp.Runtime
 module Pv = Sage_interp.Packet_view
-module Exec = Sage_interp.Exec
 module Addr = Sage_net.Addr
 module Ipv4 = Sage_net.Ipv4
+module Backend = Sage_backend.Backend
 
-type t = { run : Sage.Pipeline.run; trace : Sage_trace.Trace.t option }
+type t = {
+  run : Sage.Pipeline.run;
+  trace : Sage_trace.Trace.t option;
+  backend : Backend.choice;
+  progs : (string, Backend.loaded) Hashtbl.t;
+      (* programs load once per function: field resolution (and, for
+         the compiled backend, closure compilation) is not a
+         per-message cost *)
+}
 
 type env_value = Rt.value
 
-let of_run ?trace run = { run; trace }
+let of_run ?trace ?(backend = Backend.Interp) run =
+  { run; trace; backend; progs = Hashtbl.create 16 }
 
+let backend t = t.backend
 let functions t = t.run.Sage.Pipeline.codegen.Sage.Pipeline.functions
 
 let protocol_number t =
@@ -31,32 +48,58 @@ let struct_for t fn =
   | Some sd -> Ok sd
   | None -> Error (Printf.sprintf "no header layout for function %S" fn)
 
+let loaded_for t fn =
+  match Hashtbl.find_opt t.progs fn with
+  | Some l -> Ok l
+  | None ->
+    Result.bind (find_function t fn) (fun f ->
+        Result.map
+          (fun sd ->
+            let l = Backend.load t.backend ~layout:sd f in
+            Hashtbl.add t.progs fn l;
+            l)
+          (struct_for t fn))
+
 let default_clock = 43_200_000L (* milliseconds since midnight UT: noon *)
 
 let base_params =
   [ ("current_time", Rt.VInt default_clock) ]
 
-let exec_catching rt f =
-  match Exec.run_func rt f with
-  | () -> Ok ()
-  | exception Exec.Runtime_error e -> Error e
+let exec t (l : Backend.loaded) ~env packet =
+  match l.Backend.exec ?trace:t.trace ~env packet with
+  | Error e -> Error e
+  | Ok o ->
+    (match o.Backend.error with Some e -> Error e | None -> Ok o)
+
+(* The static framework's IP layer: wrap the produced message using the
+   source/destination the generated code left in the IP info. *)
+let encapsulate t (o : Backend.outcome) =
+  let hdr =
+    Ipv4.make ~protocol:(protocol_number t) ~src:o.Backend.ip.Rt.src
+      ~dst:o.Backend.ip.Rt.dst
+      ~payload_len:(Bytes.length o.Backend.output)
+      ()
+  in
+  Ipv4.encode hdr ~payload:o.Backend.output
+
+(* An all-zero fixed header with [data] appended: what [Pv.create] plus
+   [set_data] serialized to, as raw packet bytes. *)
+let blank_packet sd data =
+  let fixed = Bytes.make (Pv.fixed_bytes sd) '\000' in
+  if Bytes.length data = 0 then fixed else Bytes.cat fixed data
 
 let build_message ?(params = []) ?(data = Bytes.empty) ~src ~dst t ~fn =
-  Result.bind (find_function t fn) (fun f ->
-      Result.bind (struct_for t fn) (fun sd ->
-          let proto = Pv.create sd in
-          Pv.set_data proto data;
-          let ip = Rt.ip_info ~src ~dst () in
-          let rt = Rt.create ?trace:t.trace ~params:(base_params @ params) ~proto ~ip () in
-          Result.map
-            (fun () ->
-              let payload = Pv.serialize proto in
-              let hdr =
-                Ipv4.make ~protocol:(protocol_number t) ~src:rt.Rt.ip.Rt.src
-                  ~dst:rt.Rt.ip.Rt.dst ~payload_len:(Bytes.length payload) ()
-              in
-              Ipv4.encode hdr ~payload)
-            (exec_catching rt f)))
+  Result.bind (loaded_for t fn) (fun l ->
+      let packet = blank_packet l.Backend.layout data in
+      let env =
+        {
+          Backend.params = base_params @ params;
+          state = [];
+          ip = { Backend.src; dst; ttl = 64; tos = 0 };
+          request_ip = None;
+        }
+      in
+      Result.map (encapsulate t) (exec t l ~env packet))
 
 let original_excerpt_params original =
   match Ipv4.decode original with
@@ -73,90 +116,67 @@ let original_excerpt_params original =
       ]
 
 let build_error_message ?(params = []) ~router_addr ~original t ~fn =
-  Result.bind (find_function t fn) (fun f ->
-      Result.bind (struct_for t fn) (fun sd ->
-          Result.bind (original_excerpt_params original) (fun excerpts ->
-              let proto = Pv.create sd in
-              (* errors are addressed by the generated code itself (the
-                 "Destination Address" IP-field description); start from
-                 the router as source *)
-              let ip = Rt.ip_info ~src:router_addr ~dst:Addr.any () in
-              let rt =
-                Rt.create ?trace:t.trace
-                  ~params:(base_params @ excerpts @ params)
-                  ~proto ~ip ()
-              in
-              Result.map
-                (fun () ->
-                  let payload = Pv.serialize proto in
-                  let hdr =
-                    Ipv4.make ~protocol:(protocol_number t) ~src:rt.Rt.ip.Rt.src
-                      ~dst:rt.Rt.ip.Rt.dst
-                      ~payload_len:(Bytes.length payload) ()
-                  in
-                  Ipv4.encode hdr ~payload)
-                (exec_catching rt f))))
+  Result.bind (loaded_for t fn) (fun l ->
+      Result.bind (original_excerpt_params original) (fun excerpts ->
+          let packet = blank_packet l.Backend.layout Bytes.empty in
+          (* errors are addressed by the generated code itself (the
+             "Destination Address" IP-field description); start from
+             the router as source *)
+          let env =
+            {
+              Backend.params = base_params @ excerpts @ params;
+              state = [];
+              ip =
+                { Backend.src = router_addr; dst = Addr.any; ttl = 64;
+                  tos = 0 };
+              request_ip = None;
+            }
+          in
+          Result.map (encapsulate t) (exec t l ~env packet)))
 
 let process_request ?(params = []) t ~fn ~request =
-  Result.bind (find_function t fn) (fun f ->
-      Result.bind (struct_for t fn) (fun sd ->
-          match Ipv4.decode request with
-          | Error e ->
-            Error
-              (Printf.sprintf "request: %s" (Sage_net.Decode_error.to_string e))
-          | Ok (req_hdr, req_payload) ->
-            (match Pv.deserialize sd req_payload with
-             | Error e -> Error e
-             | Ok request_view ->
-               (* the reply is formed from the received message (static
-                  framework), then mutated by the generated code *)
-               let proto = Pv.copy request_view in
-               let ip =
-                 Rt.ip_info ~ttl:64 ~tos:req_hdr.Ipv4.tos
-                   ~src:req_hdr.Ipv4.src ~dst:req_hdr.Ipv4.dst ()
-               in
-               let request_ip =
-                 Rt.ip_info ~ttl:req_hdr.Ipv4.ttl ~tos:req_hdr.Ipv4.tos
-                   ~src:req_hdr.Ipv4.src ~dst:req_hdr.Ipv4.dst ()
-               in
-               let rt =
-                 Rt.create ?trace:t.trace ~request:request_view ~request_ip
-                   ~params:(base_params @ params) ~proto ~ip ()
-               in
-               Result.map
-                 (fun () ->
-                   if rt.Rt.discarded then None
-                   else
-                     let payload = Pv.serialize proto in
-                     let hdr =
-                       Ipv4.make ~protocol:(protocol_number t)
-                         ~src:rt.Rt.ip.Rt.src ~dst:rt.Rt.ip.Rt.dst
-                         ~payload_len:(Bytes.length payload) ()
-                     in
-                     Some (Ipv4.encode hdr ~payload))
-                 (exec_catching rt f))))
+  Result.bind (loaded_for t fn) (fun l ->
+      match Ipv4.decode request with
+      | Error e ->
+        Error (Printf.sprintf "request: %s" (Sage_net.Decode_error.to_string e))
+      | Ok (req_hdr, req_payload) ->
+        (* the reply is formed from the received message (static
+           framework), then mutated by the generated code; the request
+           header rides along so request-layer reads resolve *)
+        let env =
+          {
+            Backend.params = base_params @ params;
+            state = [];
+            ip =
+              { Backend.src = req_hdr.Ipv4.src; dst = req_hdr.Ipv4.dst;
+                ttl = 64; tos = req_hdr.Ipv4.tos };
+            request_ip =
+              Some
+                { Backend.src = req_hdr.Ipv4.src; dst = req_hdr.Ipv4.dst;
+                  ttl = req_hdr.Ipv4.ttl; tos = req_hdr.Ipv4.tos };
+          }
+        in
+        Result.map
+          (fun (o : Backend.outcome) ->
+            if o.Backend.discarded then None else Some (encapsulate t o))
+          (exec t l ~env req_payload))
 
 let run_state_update ?(state = []) ?(params = []) t ~fn ~packet =
-  Result.bind (find_function t fn) (fun f ->
-      Result.bind (struct_for t fn) (fun sd ->
-          match Pv.deserialize sd packet with
-          | Error e -> Error e
-          | Ok view ->
-            (* state management processes the received packet in place *)
-            let ip = Rt.ip_info ~src:Addr.any ~dst:Addr.any () in
-            let rt =
-              Rt.create ?trace:t.trace ~state
-                ~params:
-                  (base_params
-                  @ [ ("payload_length", Rt.VInt (Int64.of_int (Bytes.length packet))) ]
-                  @ params)
-                ~proto:view ~ip ()
-            in
-            Result.map
-              (fun () ->
-                let bindings =
-                  Hashtbl.fold (fun k v acc -> (k, v) :: acc) rt.Rt.state []
-                  |> List.sort compare
-                in
-                (bindings, rt.Rt.discarded))
-              (exec_catching rt f)))
+  Result.bind (loaded_for t fn) (fun l ->
+      (* state management processes the received packet in place *)
+      let env =
+        {
+          Backend.params =
+            base_params
+            @ [ ("payload_length", Rt.VInt (Int64.of_int (Bytes.length packet)))
+              ]
+            @ params;
+          state;
+          ip = { Backend.src = Addr.any; dst = Addr.any; ttl = 64; tos = 0 };
+          request_ip = None;
+        }
+      in
+      Result.map
+        (fun (o : Backend.outcome) ->
+          (Lazy.force o.Backend.final_state, o.Backend.discarded))
+        (exec t l ~env packet))

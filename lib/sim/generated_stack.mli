@@ -8,10 +8,18 @@
 
 type t
 
-val of_run : ?trace:Sage_trace.Trace.t -> Sage.Pipeline.run -> t
-(** [trace] is handed to every runtime this stack creates, so executing
-    generated functions emits [exec:<fn>] spans and send/discard
-    instants (see {!Sage_interp.Exec}). *)
+val of_run :
+  ?trace:Sage_trace.Trace.t ->
+  ?backend:Sage_backend.Backend.choice ->
+  Sage.Pipeline.run ->
+  t
+(** [trace] is handed to every execution this stack performs, so
+    generated functions emit [exec:<fn>] spans and send/discard
+    instants regardless of backend.  [backend] selects the execution
+    backend (default: the tree-walk interpreter); programs are loaded
+    once per function and cached. *)
+
+val backend : t -> Sage_backend.Backend.choice
 
 val functions : t -> Sage_codegen.Ir.func list
 

@@ -125,6 +125,57 @@ let test_chaos_deterministic_across_jobs () =
   checki "both exit 0 (b)" 0 c2;
   Alcotest.check Alcotest.string "byte-identical across --jobs" out1 out2
 
+(* ---- --backend flag ---- *)
+
+let test_bad_backend_fuzz () =
+  expect_usage_error "fuzz backend" "fuzz --backend turbo"
+
+let test_bad_backend_interop () =
+  expect_usage_error "interop backend" "interop --backend turbo"
+
+let test_bad_backend_chaos () =
+  expect_usage_error "chaos backend" "chaos --backend turbo"
+
+let test_fuzz_compiled_deterministic () =
+  (* the compiled backend must be as reproducible as the interpreter:
+     same seed, same findings, byte-identical summaries across repeated
+     runs and across --jobs *)
+  let c1, out1, _ = run_cli "fuzz --seed 42 --iters 300 --backend compiled" in
+  let c2, out2, _ = run_cli "fuzz --seed 42 --iters 300 --backend compiled" in
+  let c3, out3, _ =
+    run_cli "fuzz --seed 42 --iters 300 --backend compiled --jobs 4"
+  in
+  checki "exit 0 (a)" 0 c1;
+  checki "exit 0 (b)" 0 c2;
+  checki "exit 0 (jobs)" 0 c3;
+  checkb "zero findings" true (contains out1 "findings   : 0");
+  Alcotest.check Alcotest.string "byte-identical across runs" out1 out2;
+  Alcotest.check Alcotest.string "byte-identical across --jobs" out1 out3
+
+let test_fuzz_seeded_divergence_exit () =
+  let code, out, _err =
+    run_cli "fuzz --seed 42 --iters 300 --seeded-divergence"
+  in
+  checki "divergence exits 1" 1 code;
+  checkb "exactly one finding" true (contains out "findings   : 1");
+  checkb "backend-agreement oracle fired" true
+    (contains out "backend-agreement")
+
+let test_interop_accepts_backend () =
+  (* rewritten corpus: the disambiguated spec is the one that passes
+     the paper's interop experiment; the flag must compose with it *)
+  let code, out, _err = run_cli "interop --rewritten --backend compiled" in
+  checki "interop compiled exits 0" 0 code;
+  checkb "ping succeeded" true (contains out "ping 192.168.2.10: ok");
+  checkb "traceroute reached" true (contains out "reached")
+
+let test_chaos_accepts_backend () =
+  let code, out, _err =
+    run_cli "chaos --seed 7 --corpus icmp --backend compiled"
+  in
+  checki "chaos compiled exits 0" 0 code;
+  checkb "no failures" true (contains out "failed: 0")
+
 let test_fuzz_coverage_out () =
   let file = Filename.temp_file "sage_cov" ".json" in
   let code, _out, _err =
@@ -153,6 +204,19 @@ let suite =
     Alcotest.test_case "fuzz: identical across --jobs" `Slow
       test_fuzz_deterministic_across_jobs;
     Alcotest.test_case "fuzz: --coverage-out json" `Slow test_fuzz_coverage_out;
+    Alcotest.test_case "malformed --backend: fuzz" `Quick test_bad_backend_fuzz;
+    Alcotest.test_case "malformed --backend: interop" `Quick
+      test_bad_backend_interop;
+    Alcotest.test_case "malformed --backend: chaos" `Quick
+      test_bad_backend_chaos;
+    Alcotest.test_case "fuzz: compiled backend reproducible" `Slow
+      test_fuzz_compiled_deterministic;
+    Alcotest.test_case "fuzz: seeded divergence exits 1" `Slow
+      test_fuzz_seeded_divergence_exit;
+    Alcotest.test_case "interop: accepts --backend compiled" `Slow
+      test_interop_accepts_backend;
+    Alcotest.test_case "chaos: accepts --backend compiled" `Slow
+      test_chaos_accepts_backend;
     Alcotest.test_case "unknown flag: chaos" `Quick test_unknown_flag_chaos;
     Alcotest.test_case "chaos: malformed --seed" `Quick test_chaos_malformed_seed;
     Alcotest.test_case "chaos: negative --soak" `Quick test_chaos_negative_soak;

@@ -9,6 +9,7 @@ module Driver = Sage_fuzz.Driver
 module Oracle = Sage_fuzz.Oracle
 module Engine = Sage_fuzz.Engine
 module Seeded_bug = Sage_fuzz.Seeded_bug
+module Backend = Sage_backend.Backend
 module Coverage = Sage_interp.Coverage
 module Ir = Sage_codegen.Ir
 module Pv = Sage_interp.Packet_view
@@ -53,6 +54,10 @@ let func_of (run : P.run) fn =
 
 let echo_fn = "icmp_echo_sender"
 
+(* most driver/oracle tests execute on the interpreter backend; the
+   compiled backend gets its own differential suite (test_backend) *)
+let load_interp f layout = Backend.load Backend.Interp ~layout f
+
 (* ---- rng ---- *)
 
 let test_rng_deterministic () =
@@ -79,6 +84,66 @@ let test_rng_bounds () =
   Alcotest.check_raises "int_below 0"
     (Invalid_argument "Sage_fuzz.Rng.int_below") (fun () ->
       ignore (Rng.int_below r 0))
+
+(* The limb implementation must be bit-identical to the boxed Int64
+   splitmix64 it replaced — this is the assertion rng.ml's header
+   comment points at.  The reference below is the direct Int64
+   formulation of the same algorithm. *)
+let test_rng_matches_int64_reference () =
+  let next_ref st =
+    st := Int64.add !st 0x9E3779B97F4A7C15L;
+    let z = !st in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  let ref_of_seed seed =
+    ref (Int64.add (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+  in
+  List.iter
+    (fun seed ->
+      let a = Rng.of_seed seed and b = ref_of_seed seed in
+      for _ = 1 to 5000 do
+        check Alcotest.int64 "limb stream = Int64 stream" (next_ref b)
+          (Rng.next_int64 a)
+      done;
+      (* int_below across both reduction paths (native below 2^30, the
+         Int64 fallback above it) *)
+      let a = Rng.of_seed seed and b = ref_of_seed seed in
+      List.iter
+        (fun n ->
+          for _ = 1 to 500 do
+            let expect =
+              Int64.to_int
+                (Int64.rem
+                   (Int64.logand (next_ref b) Int64.max_int)
+                   (Int64.of_int n))
+            in
+            checki "int_below = Int64 reduction" expect (Rng.int_below a n)
+          done)
+        [ 1; 2; 3; 24; 256; 65536; 0x3FFFFFFF; 0x40000000; 0x7FFFFFFFF ])
+    [ 0; 1; 42; -7; 123456789; max_int; min_int ]
+
+let test_rng_bits32 () =
+  (* bits32 advances the stream exactly like any other draw and
+     returns the draw's low 32 bits *)
+  let a = Rng.of_seed 31 and b = Rng.of_seed 31 in
+  for _ = 1 to 200 do
+    let w = Rng.bits32 a in
+    let z = Rng.next_int64 b in
+    checkb "32-bit range" true (w >= 0 && w <= 0xFFFFFFFF);
+    check Alcotest.int64 "low 32 bits of the draw"
+      (Int64.logand z 0xFFFFFFFFL)
+      (Int64.of_int w)
+  done
 
 let test_rng_split () =
   let a = Rng.of_seed 9 in
@@ -210,7 +275,7 @@ let test_coverage_execution () =
   let cov = Coverage.create () in
   let env = Driver.env_of (Rng.of_seed 3) in
   let packet = Gen.packet (Rng.of_seed 3) layout in
-  (match Driver.exec ~coverage:cov ~env f layout packet with
+  (match Driver.exec ~coverage:cov ~env (load_interp f layout) packet with
    | Ok _ -> ()
    | Error e -> Alcotest.failf "exec rejected: %s" e);
   let covered, points = Coverage.totals cov [ f ] in
@@ -226,7 +291,7 @@ let test_coverage_json_deterministic () =
     let cov = Coverage.create () in
     let env = Driver.env_of (Rng.of_seed seed) in
     let packet = Gen.packet (Rng.of_seed seed) layout in
-    ignore (Driver.exec ~coverage:cov ~env f layout packet);
+    ignore (Driver.exec ~coverage:cov ~env (load_interp f layout) packet);
     Coverage.to_json cov [ f ]
   in
   check Alcotest.string "same run serializes identically" (json 3) (json 3);
@@ -245,7 +310,7 @@ let test_driver_rejects_short () =
   let f = func_of run echo_fn in
   let layout = layout_of run echo_fn in
   let env = Driver.env_of (Rng.of_seed 1) in
-  match Driver.exec ~env f layout (Bytes.make 3 '\000') with
+  match Driver.exec ~env (load_interp f layout) (Bytes.make 3 '\000') with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "3-byte packet must be a structural reject"
 
@@ -255,13 +320,13 @@ let test_driver_echo_checksum () =
   let layout = layout_of run echo_fn in
   let env = Driver.env_of (Rng.of_seed 5) in
   let packet = Gen.packet (Rng.of_seed 5) layout in
-  match Driver.exec ~env f layout packet with
+  match Driver.exec ~env (load_interp f layout) packet with
   | Error e -> Alcotest.failf "exec rejected: %s" e
   | Ok o ->
-    checkb "echo sender assigns the checksum" true o.Driver.assigns_checksum;
-    check Alcotest.(option string) "no runtime error" None o.Driver.error;
-    checkb "not discarded" true (not o.Driver.discarded);
-    checkb "output verifies" true (Checksum.verify o.Driver.output)
+    checkb "echo sender assigns the checksum" true o.Backend.assigns_checksum;
+    check Alcotest.(option string) "no runtime error" None o.Backend.error;
+    checkb "not discarded" true (not o.Backend.discarded);
+    checkb "output verifies" true (Checksum.verify o.Backend.output)
 
 let test_driver_deterministic () =
   let run = run_of "icmp" in
@@ -270,8 +335,8 @@ let test_driver_deterministic () =
   let out seed =
     let env = Driver.env_of (Rng.of_seed seed) in
     let packet = Gen.packet (Rng.of_seed seed) layout in
-    match Driver.exec ~env f layout packet with
-    | Ok o -> Bytes.to_string o.Driver.output
+    match Driver.exec ~env (load_interp f layout) packet with
+    | Ok o -> Bytes.to_string o.Backend.output
     | Error e -> Alcotest.failf "exec rejected: %s" e
   in
   check Alcotest.string "same (env, packet), same output" (out 5) (out 5)
@@ -284,7 +349,7 @@ let echo_outcome seed =
   let layout = layout_of run echo_fn in
   let env = Driver.env_of (Rng.of_seed seed) in
   let packet = Gen.packet (Rng.of_seed seed) layout in
-  match Driver.exec ~env f layout packet with
+  match Driver.exec ~env (load_interp f layout) packet with
   | Ok o -> (packet, o)
   | Error e -> Alcotest.failf "exec rejected: %s" e
 
@@ -296,7 +361,7 @@ let test_oracle_clean_on_echo () =
 
 let test_oracle_never_raise () =
   let packet, o = echo_outcome 6 in
-  let o = { o with Driver.error = Some "synthetic failure" } in
+  let o = { o with Backend.error = Some "synthetic failure" } in
   match Oracle.check ~protocol:"ICMP" ~packet o with
   | Some { Oracle.kind = Oracle.Never_raise; _ } -> ()
   | _ -> Alcotest.fail "runtime error must trip the never-raise oracle"
@@ -304,9 +369,9 @@ let test_oracle_never_raise () =
 let test_oracle_checksum () =
   let packet, o = echo_outcome 7 in
   (* corrupt the produced message's checksum *)
-  let bad = Bytes.copy o.Driver.output in
+  let bad = Bytes.copy o.Backend.output in
   Bytes.set bad 2 (Char.chr (Char.code (Bytes.get bad 2) lxor 0xff));
-  let o = { o with Driver.output = bad } in
+  let o = { o with Backend.output = bad } in
   match Oracle.check ~protocol:"ICMP" ~packet o with
   | Some { Oracle.kind = Oracle.Checksum; _ } -> ()
   | Some v -> Alcotest.failf "wrong oracle: %s" (Oracle.kind_name v.Oracle.kind)
@@ -316,11 +381,11 @@ let test_oracle_kind_names () =
   check
     Alcotest.(list string)
     "stable oracle names"
-    [ "never-raise"; "round-trip"; "decoder-agreement"; "checksum";
-      "verified-output" ]
+    [ "never-raise"; "round-trip"; "decoder-agreement"; "backend-agreement";
+      "checksum"; "verified-output" ]
     (List.map Oracle.kind_name
        [ Oracle.Never_raise; Oracle.Round_trip; Oracle.Decoder_agreement;
-         Oracle.Checksum; Oracle.Verified_output ])
+         Oracle.Backend_agreement; Oracle.Checksum; Oracle.Verified_output ])
 
 let test_observe_agrees_with_view () =
   (* encode a typed echo, decode through both sides, compare *)
@@ -477,7 +542,8 @@ let test_shrink_keeps_oracle () =
   let env = Driver.env_of (Rng.of_seed 2) in
   let packet = Gen.packet (Rng.of_seed 2) layout in
   let shrunk, detail, _steps =
-    Engine.shrink ~protocol:"ICMP" ~env f layout ~kind:Oracle.Checksum packet
+    Engine.shrink ~protocol:"ICMP" ~env (load_interp f layout)
+      ~kind:Oracle.Checksum packet
   in
   checkb "shrunk still violates" true (detail <> None);
   checkb "monotone" true (Bytes.length shrunk <= Bytes.length packet)
@@ -494,6 +560,9 @@ let suite =
     Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "rng: recorded first draw" `Quick test_rng_stable;
     Alcotest.test_case "rng: bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng: limbs match Int64 reference" `Quick
+      test_rng_matches_int64_reference;
+    Alcotest.test_case "rng: bits32 slices the draw" `Quick test_rng_bits32;
     Alcotest.test_case "rng: split streams" `Quick test_rng_split;
     Alcotest.test_case "rng: shared with qcheck_lite" `Quick
       test_qcheck_lite_shares_rng;

@@ -27,6 +27,7 @@ let () =
       ("trace", Test_trace.suite);
       ("golden-snapshots", Test_golden_snapshots.suite);
       ("fuzz", Test_fuzz.suite);
+      ("backend", Test_backend.suite);
       ("chaos", Test_chaos.suite);
       ("cli", Test_cli.suite);
       ("stateful", Test_stateful.suite);
