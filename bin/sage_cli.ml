@@ -167,13 +167,34 @@ let analyze_arg =
   Arg.(value & opt ~vopt:Analyze mode_conv Analyze_off
        & info [ "analyze" ] ~docv:"MODE" ~doc)
 
-let analysis_exit mode (result : P.run) =
-  match mode with
-  | Analyze_off -> 0
-  | Analyze | Analyze_strict ->
-    Sage_analysis.Analyzer.exit_code
-      ~strict:(mode = Analyze_strict)
-      result.P.diagnostics
+(* --fail-on error/warning: the generalized exit policy; --strict and
+   --analyze=strict are the Fail_error spelling *)
+let fail_on_arg =
+  let doc =
+    "Exit nonzero when findings at or above $(docv) severity exist: \
+     $(b,error) or $(b,warning).  Generalizes $(b,--strict), which is \
+     $(b,--fail-on error)."
+  in
+  Arg.(value
+       & opt
+           (some
+              (enum
+                 [ ("error", Sage_analysis.Analyzer.Fail_error);
+                   ("warning", Sage_analysis.Analyzer.Fail_warning) ]))
+           None
+       & info [ "fail-on" ] ~docv:"SEV" ~doc)
+
+let analysis_exit ?fail_on mode (result : P.run) =
+  match fail_on with
+  | Some f ->
+    Sage_analysis.Analyzer.exit_code_on ~fail_on:f result.P.diagnostics
+  | None -> (
+    match mode with
+    | Analyze_off -> 0
+    | Analyze | Analyze_strict ->
+      Sage_analysis.Analyzer.exit_code
+        ~strict:(mode = Analyze_strict)
+        result.P.diagnostics)
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -302,8 +323,8 @@ let run_pipeline ?(jobs = 1) ?cache_cap ?trace proto rewritten =
   P.run_document ~jobs ?cache ?trace spec ~title ~text
 
 let run_cmd =
-  let run proto verbose rewritten jobs cache_cap stats analyze trace_file
-      trace_format trace_clock =
+  let run proto verbose rewritten jobs cache_cap stats analyze fail_on
+      trace_file trace_format trace_clock =
     setup_logs verbose;
     with_trace ~clock:trace_clock trace_file trace_format @@ fun trace ->
     let result = run_pipeline ~jobs ?cache_cap ?trace proto rewritten in
@@ -345,14 +366,14 @@ let run_cmd =
       print_newline ();
       print_string (Sage.Report.stats result)
     end;
-    analysis_exit analyze result
+    analysis_exit ?fail_on analyze result
   in
   let doc = "Run the full pipeline (parse, winnow, generate) over a corpus." in
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
-          $ cache_arg $ stats_arg $ analyze_arg $ trace_arg $ trace_format_arg
-          $ trace_clock_arg)
+          $ cache_arg $ stats_arg $ analyze_arg $ fail_on_arg $ trace_arg
+          $ trace_format_arg $ trace_clock_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage code                                                           *)
@@ -390,7 +411,10 @@ let code_cmd =
 
 let analyze_cmd =
   let strict_arg =
-    let doc = "Exit nonzero when any Error-severity finding exists." in
+    let doc =
+      "Exit nonzero when any Error-severity finding exists (alias for \
+       $(b,--fail-on error))."
+    in
     Arg.(value & flag & info [ "strict" ] ~doc)
   in
   let format_arg =
@@ -399,26 +423,98 @@ let analyze_cmd =
          & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
          & info [ "format" ] ~docv:"FMT" ~doc)
   in
-  let run proto verbose rewritten jobs cache_cap strict format =
+  let prove_arg =
+    let doc =
+      "Report the SA007 proof summary on stderr — which functions are \
+       statically proved in-bounds for every packet length — and exit \
+       nonzero on any Error-severity finding (unless $(b,--fail-on) says \
+       otherwise)."
+    in
+    Arg.(value & flag & info [ "prove" ] ~doc)
+  in
+  let seeded_wedge_arg =
+    let doc =
+      "Tamper the generated IR by deleting the BFD session-recovery \
+       transitions before analyzing (SA011 self-test: the run must report \
+       a wedge-state Error and, under $(b,--prove), exit 1)."
+    in
+    Arg.(value & flag & info [ "seeded-wedge" ] ~doc)
+  in
+  let seeded_divergence_arg =
+    let doc =
+      "Arm the compiled backend's seeded mis-compilation fixture before \
+       analyzing (SA012 self-test: the run must report a slot-consistency \
+       Error and, under $(b,--prove), exit 1)."
+    in
+    Arg.(value & flag & info [ "seeded-divergence" ] ~doc)
+  in
+  let run proto verbose rewritten jobs cache_cap strict fail_on prove
+      seeded_wedge seeded_divergence format =
     setup_logs verbose;
     let result = run_pipeline ~jobs ?cache_cap proto rewritten in
+    let funcs = result.P.codegen.P.functions in
+    let funcs =
+      if seeded_wedge then Sage_chaos.Seeded_wedge.tamper_fsm funcs else funcs
+    in
+    let divergence =
+      if seeded_divergence then
+        Some Sage_backend.Seeded_divergence.default_target
+      else None
+    in
+    let diagnostics =
+      (* fixtures change the program under analysis, so they re-analyze;
+         the untampered path reuses the pipeline's diagnostics, sentence
+         provenance included *)
+      if seeded_wedge || seeded_divergence then
+        Sage_analysis.Analyzer.analyze_program ?divergence
+          ~struct_of_function:result.P.codegen.P.struct_of_function funcs
+      else result.P.diagnostics
+    in
+    let protocol = result.P.spec.P.protocol in
     (match format with
-     | `Text -> print_string (Sage.Report.analysis result)
-     | `Json -> print_endline (Sage.Report.analysis_json result));
-    Sage_analysis.Analyzer.exit_code ~strict result.P.diagnostics
+     | `Text ->
+       print_string (Sage_analysis.Diagnostic.render_text ~protocol diagnostics)
+     | `Json ->
+       print_endline
+         (Sage_analysis.Diagnostic.render_json ~protocol diagnostics));
+    if prove then begin
+      let proved = Sage_analysis.Analyzer.proved_functions diagnostics funcs in
+      Printf.eprintf
+        "SA007: %d/%d functions proved in-bounds for all packet lengths\n"
+        (List.length proved) (List.length funcs);
+      List.iter
+        (fun (f : Sage_codegen.Ir.func) ->
+          if not (List.mem f.Sage_codegen.Ir.fn_name proved) then
+            Printf.eprintf "  unproved: %s\n" f.Sage_codegen.Ir.fn_name)
+        funcs
+    end;
+    let fail_on =
+      match fail_on with
+      | Some f -> f
+      | None ->
+        if strict || prove then Sage_analysis.Analyzer.Fail_error
+        else Sage_analysis.Analyzer.Fail_never
+    in
+    Sage_analysis.Analyzer.exit_code_on ~fail_on diagnostics
   in
   let doc =
     "Run the pipeline and report the static-analysis findings over the \
      generated code: definite-assignment/field coverage against the \
      recovered packet layout (the paper's under-specification failure \
      mode), dead stores and unreachable code, constant-width/overflow \
-     checks and checksum ordering.  Findings carry stable SA0xx codes \
-     and, where recoverable, the specification sentence involved."
+     checks, checksum ordering, and the abstract-interpretation proof \
+     layer — packet-bounds safety (SA007), value ranges (SA008), \
+     statically decided branches (SA009), checksum-window coverage \
+     (SA010), FSM wedge states (SA011) and interp/compiled slot-layout \
+     consistency (SA012).  Findings carry stable SA0xx codes, statement \
+     ids and, where recoverable, the specification sentence involved; \
+     JSON output is sorted and byte-identical across $(b,--jobs)."
   in
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
-          $ cache_arg $ strict_arg $ format_arg)
+          $ cache_arg $ strict_arg $ fail_on_arg $ prove_arg
+          $ seeded_wedge_arg $ seeded_divergence_arg $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage ambiguities                                                    *)
@@ -646,6 +742,14 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "seeded-bug" ] ~doc)
   in
+  let check_proofs_arg =
+    let doc =
+      "Cross-validate the static SA007 bounds proofs: run the analyzer \
+       first and assert no never-raise finding ever fires on a proved \
+       function.  A violation means the static proof layer is unsound."
+    in
+    Arg.(value & flag & info [ "check-proofs" ] ~doc)
+  in
   let seeded_divergence_arg =
     let doc =
       "Deliberately mis-compile one function's checksum assignment in the \
@@ -656,8 +760,8 @@ let fuzz_cmd =
     Arg.(value & flag & info [ "seeded-divergence" ] ~doc)
   in
   let run proto verbose rewritten jobs backend seed iters seeded_bug
-      seeded_divergence coverage_out stats trace_file trace_format trace_clock
-      =
+      seeded_divergence check_proofs coverage_out stats trace_file
+      trace_format trace_clock =
     setup_logs verbose;
     with_trace ~clock:trace_clock trace_file trace_format @@ fun trace ->
     let result = run_pipeline ~jobs ?trace proto rewritten in
@@ -667,6 +771,18 @@ let fuzz_cmd =
         Sage_fuzz.Seeded_bug.tamper_checksum
           ~fn:Sage_fuzz.Seeded_bug.default_target funcs
       else funcs
+    in
+    let proved =
+      (* static pass over the very functions being fuzzed (tampering
+         included), so a proof the fuzzer then refutes is always the
+         analyzer's fault *)
+      if check_proofs then
+        let diags =
+          Sage_analysis.Analyzer.analyze_program
+            ~struct_of_function:result.P.codegen.P.struct_of_function funcs
+        in
+        Sage_analysis.Analyzer.proved_functions diags funcs
+      else []
     in
     let targets =
       List.filter_map
@@ -687,7 +803,8 @@ let fuzz_cmd =
     in
     let fz =
       Sage_fuzz.Engine.run ?trace ~metrics:result.P.metrics ~backend
-        ?divergence ~seed ~iters ~protocol:result.P.spec.P.protocol targets
+        ?divergence ~proved ~seed ~iters
+        ~protocol:result.P.spec.P.protocol targets
     in
     print_string (Sage_fuzz.Engine.summary fz);
     (match coverage_out with
@@ -714,8 +831,8 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
           $ backend_arg $ seed_arg $ iters_arg $ seeded_bug_arg
-          $ seeded_divergence_arg $ coverage_out_arg $ stats_arg $ trace_arg
-          $ trace_format_arg $ trace_clock_arg)
+          $ seeded_divergence_arg $ check_proofs_arg $ coverage_out_arg
+          $ stats_arg $ trace_arg $ trace_format_arg $ trace_clock_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage chaos                                                          *)
@@ -901,8 +1018,8 @@ let chaos_cmd =
 (* ------------------------------------------------------------------ *)
 
 let report_cmd =
-  let run proto verbose rewritten jobs cache_cap stats analyze trace_file
-      trace_format trace_clock =
+  let run proto verbose rewritten jobs cache_cap stats analyze fail_on
+      trace_file trace_format trace_clock =
     setup_logs verbose;
     with_trace ~clock:trace_clock trace_file trace_format @@ fun trace ->
     let result = run_pipeline ~jobs ?cache_cap ?trace proto rewritten in
@@ -911,9 +1028,9 @@ let report_cmd =
       print_newline ();
       print_string (Sage.Report.stats result)
     end;
-    (* the markdown already carries the findings; --analyze here only
-       selects the strict-exit policy *)
-    analysis_exit analyze result
+    (* the markdown already carries the findings; --analyze/--fail-on
+       here only select the exit policy *)
+    analysis_exit ?fail_on analyze result
   in
   let doc =
     "Produce the markdown report a spec author reads in the feedback loop: \
@@ -923,8 +1040,8 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc)
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
-          $ cache_arg $ stats_arg $ analyze_arg $ trace_arg $ trace_format_arg
-          $ trace_clock_arg)
+          $ cache_arg $ stats_arg $ analyze_arg $ fail_on_arg $ trace_arg
+          $ trace_format_arg $ trace_clock_arg)
 
 (* ------------------------------------------------------------------ *)
 (* main                                                                *)

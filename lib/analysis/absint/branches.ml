@@ -1,0 +1,53 @@
+(* SA009: branches the abstract state decides statically.  A condition
+   proven always-true/always-false makes one arm dead: if that arm
+   contains real statements it is a Warning (spec logic that can never
+   run — e.g. a guard re-checking a constant the function itself just
+   assigned); if the arm is empty or comment-only the finding is an
+   Info (the guard is merely redundant).  Statements already inside
+   dead code are skipped — the outermost decided branch carries the
+   finding, like SA004 does for code after Discard. *)
+
+module Ir = Sage_codegen.Ir
+module I = Interval
+module D = Diagnostic
+
+let real_stmts stmts =
+  Ir.fold_stmts
+    (fun n s -> match s with Ir.Comment _ -> n | _ -> n + 1)
+    0 stmts
+
+let check (d : Dataflow.ctx) (summary : Absint.summary) =
+  let func = d.Dataflow.func in
+  let diags = ref [] in
+  List.iter
+    (fun (fact : Absint.fact) ->
+      match fact.Absint.stmt, fact.Absint.cond with
+      | Ir.If (c, then_, else_), Some t when fact.Absint.reachable -> (
+        let report ~always dead_arm dead_name =
+          let dead = real_stmts dead_arm in
+          let severity, what =
+            if dead > 0 then
+              ( D.Warning,
+                Printf.sprintf
+                  "%s branch is unreachable (%d statement%s can never run)"
+                  dead_name dead
+                  (if dead = 1 then "" else "s") )
+            else (D.Info, "the guard is redundant")
+          in
+          diags :=
+            D.v ~stmt_id:fact.Absint.id
+              ?sentence:(d.Dataflow.sentence_of_stmt fact.Absint.stmt)
+              ~code:"SA009" ~severity ~fn_name:func.Ir.fn_name
+              ~protocol:func.Ir.protocol
+              (Printf.sprintf "condition (%s) is always %s: %s"
+                 (Fmt.str "%a" Ir.pp_expr c)
+                 always what)
+            :: !diags
+        in
+        match t with
+        | I.True -> report ~always:"true" else_ "the else"
+        | I.False -> report ~always:"false" then_ "the then"
+        | I.Unknown -> ())
+      | _ -> ())
+    summary.Absint.facts;
+  List.rev !diags

@@ -1,0 +1,331 @@
+(* The abstract value domain of the IR abstract interpreter: an integer
+   interval extended with a packet-length-relational component.
+
+   A non-bottom value [V { lo; hi; dlo; dhi }] constrains a runtime
+   int64 [v] (bytes values are viewed through [Rt.int_of_value], i.e.
+   their length) by
+
+     lo <= v <= hi          (the direct interval), and
+     dlo <= v - L <= dhi    (the relational component),
+
+   where [L] is the symbolic payload length of the packet under
+   execution — the value the harness binds to [env.payload_length].
+   [None] bounds are infinities.  The relational component is what lets
+   the interpreter reason about guards such as BFD's
+
+     if (hdr->length > env.payload_length) return DISCARD;
+
+   for *all* packet lengths at once: on the fall-through path the
+   field's [dhi] drops to 0, so a later identical comparison is
+   provably false whatever [L] was.
+
+   The generated IR is loop-free, so the fixpoint of the transfer
+   functions over the CFG is reached in one structured pass; [widen]
+   ships as part of the domain contract (and is exercised by the
+   qcheck_lite property suite) so a future IR with loops can reuse the
+   domain unchanged. *)
+
+type bound = int64 option (* None = unbounded on that side *)
+
+type t = Bot | V of { lo : bound; hi : bound; dlo : bound; dhi : bound }
+
+type truth = True | False | Unknown
+
+let top = V { lo = None; hi = None; dlo = None; dhi = None }
+let bot = Bot
+let is_bot = function Bot -> true | V _ -> false
+
+let v ?lo ?hi ?dlo ?dhi () = V { lo; hi; dlo; dhi }
+
+let const n = V { lo = Some n; hi = Some n; dlo = None; dhi = None }
+
+let of_range lo hi =
+  if Int64.compare lo hi > 0 then Bot
+  else V { lo = Some lo; hi = Some hi; dlo = None; dhi = None }
+
+(* the payload-length symbol itself: L - L = 0; [lo] is the smallest
+   packet the harness can execute (the layout's fixed header) *)
+let plen ~min =
+  V { lo = Some min; hi = None; dlo = Some 0L; dhi = Some 0L }
+
+(* ---- bound arithmetic (None-absorbing, overflow-saturating) ---- *)
+
+let badd a b =
+  match a, b with
+  | Some a, Some b ->
+    let s = Int64.add a b in
+    (* overflow: same-sign operands, opposite-sign sum *)
+    if (Int64.compare a 0L >= 0) = (Int64.compare b 0L >= 0)
+       && (Int64.compare s 0L >= 0) <> (Int64.compare a 0L >= 0)
+    then None
+    else Some s
+  | _ -> None
+
+let bneg = Option.map Int64.neg
+let bsub a b = badd a (bneg b)
+let bsucc b = badd b (Some 1L)
+let bpred b = bsub b (Some 1L)
+
+let bmin a b =
+  match a, b with
+  | Some a, Some b -> Some (if Int64.compare a b <= 0 then a else b)
+  | Some a, None | None, Some a -> Some a
+  | None, None -> None
+
+let bmax a b =
+  match a, b with
+  | Some a, Some b -> Some (if Int64.compare a b >= 0 then a else b)
+  | Some a, None | None, Some a -> Some a
+  | None, None -> None
+
+(* lower bounds: None = -inf, so the larger is the tighter *)
+let lo_join a b = match a, b with Some a, Some b -> Some (min a b) | _ -> None
+let hi_join a b = match a, b with Some a, Some b -> Some (max a b) | _ -> None
+let lo_meet = bmax
+let hi_meet = bmin
+
+let feasible ~lo ~hi =
+  match lo, hi with
+  | Some l, Some h -> Int64.compare l h <= 0
+  | _ -> true
+
+let norm ~lo ~hi ~dlo ~dhi =
+  if feasible ~lo ~hi && feasible ~lo:dlo ~hi:dhi then V { lo; hi; dlo; dhi }
+  else Bot
+
+let join a b =
+  match a, b with
+  | Bot, x | x, Bot -> x
+  | V a, V b ->
+    V
+      {
+        lo = lo_join a.lo b.lo;
+        hi = hi_join a.hi b.hi;
+        dlo = lo_join a.dlo b.dlo;
+        dhi = hi_join a.dhi b.dhi;
+      }
+
+let meet a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b ->
+    norm ~lo:(lo_meet a.lo b.lo) ~hi:(hi_meet a.hi b.hi)
+      ~dlo:(lo_meet a.dlo b.dlo) ~dhi:(hi_meet a.dhi b.dhi)
+
+(* standard interval widening per component: a bound that moved outward
+   between iterates is dropped to infinity, a stable one is kept *)
+let widen prev next =
+  match prev, next with
+  | Bot, x -> x
+  | _, Bot -> prev
+  | V p, V n ->
+    let wlo p n =
+      match p, n with
+      | Some p, Some n when Int64.compare n p >= 0 -> Some p
+      | _ -> None
+    in
+    let whi p n =
+      match p, n with
+      | Some p, Some n when Int64.compare n p <= 0 -> Some p
+      | _ -> None
+    in
+    V
+      {
+        lo = wlo p.lo n.lo;
+        hi = whi p.hi n.hi;
+        dlo = wlo p.dlo n.dlo;
+        dhi = whi p.dhi n.dhi;
+      }
+
+(* partial order: a <= b when every concretization of a satisfies b *)
+let leq a b =
+  match a, b with
+  | Bot, _ -> true
+  | _, Bot -> false
+  | V a, V b ->
+    let lo_le x y =
+      match x, y with
+      | _, None -> true
+      | None, Some _ -> false
+      | Some x, Some y -> Int64.compare x y >= 0
+    in
+    let hi_le x y =
+      match x, y with
+      | _, None -> true
+      | None, Some _ -> false
+      | Some x, Some y -> Int64.compare x y <= 0
+    in
+    lo_le a.lo b.lo && hi_le a.hi b.hi && lo_le a.dlo b.dlo
+    && hi_le a.dhi b.dhi
+
+let equal a b = leq a b && leq b a
+
+(* does every concretization satisfy n <= v <= m? *)
+let within a ~min:n ~max:m =
+  match a with
+  | Bot -> true
+  | V a ->
+    (match a.lo with Some l -> Int64.compare l n >= 0 | None -> false)
+    && (match a.hi with Some h -> Int64.compare h m <= 0 | None -> false)
+
+let lower = function Bot -> None | V a -> a.lo
+let upper = function Bot -> None | V a -> a.hi
+
+let singleton = function
+  | V { lo = Some l; hi = Some h; _ } when Int64.equal l h -> Some l
+  | _ -> None
+
+(* v is in the concretization? (used to decide truth of != singleton) *)
+let may_contain a n =
+  match a with
+  | Bot -> false
+  | V a ->
+    (match a.lo with Some l -> Int64.compare l n <= 0 | None -> true)
+    && (match a.hi with Some h -> Int64.compare h n >= 0 | None -> true)
+
+(* ---- arithmetic transfer ---- *)
+
+(* (a + b) - L is bounded through either operand's relational
+   component: (a - L) + b and a + (b - L); meet the two *)
+let add a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b ->
+    V
+      {
+        lo = badd a.lo b.lo;
+        hi = badd a.hi b.hi;
+        dlo = bmax (badd a.dlo b.lo) (badd a.lo b.dlo);
+        dhi = bmin (badd a.dhi b.hi) (badd a.hi b.dhi);
+      }
+
+let sub a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b ->
+    V
+      {
+        lo = bsub a.lo b.hi;
+        hi = bsub a.hi b.lo;
+        dlo = bmax (bsub a.dlo b.hi) (bsub a.lo b.dhi);
+        dhi = bmin (bsub a.dhi b.lo) (bsub a.hi b.dlo);
+      }
+
+let neg = function
+  | Bot -> Bot
+  | V a -> V { lo = bneg a.hi; hi = bneg a.lo; dlo = None; dhi = None }
+
+(* ---- comparisons ---- *)
+
+(* Bounds of a - b, combining the direct intervals with the difference
+   of the relational components: a - b = (a - L) - (b - L). *)
+let diff a b =
+  match a, b with
+  | Bot, _ | _, Bot -> (Some 0L, Some (-1L)) (* empty *)
+  | V a, V b ->
+    let lo = bmax (bsub a.lo b.hi) (bsub a.dlo b.dhi) in
+    let hi = bmin (bsub a.hi b.lo) (bsub a.dhi b.dlo) in
+    (lo, hi)
+
+let cmp op a b =
+  if is_bot a || is_bot b then Unknown
+  else
+    let lo, hi = diff a b in
+    let always_lt = match hi with Some h -> Int64.compare h 0L < 0 | None -> false in
+    let always_le = match hi with Some h -> Int64.compare h 0L <= 0 | None -> false in
+    let always_gt = match lo with Some l -> Int64.compare l 0L > 0 | None -> false in
+    let always_ge = match lo with Some l -> Int64.compare l 0L >= 0 | None -> false in
+    let always_eq = always_le && always_ge in
+    let never_eq = always_lt || always_gt in
+    match op with
+    | "eq" -> if always_eq then True else if never_eq then False else Unknown
+    | "ne" -> if never_eq then True else if always_eq then False else Unknown
+    | "lt" -> if always_lt then True else if always_ge then False else Unknown
+    | "le" -> if always_le then True else if always_gt then False else Unknown
+    | "gt" -> if always_gt then True else if always_le then False else Unknown
+    | "ge" -> if always_ge then True else if always_lt then False else Unknown
+    | _ -> Unknown
+
+(* Truth of "v != 0" for a value interval (the IR's condition
+   semantics: any nonzero int64 is true). *)
+let truth a =
+  match a with
+  | Bot -> Unknown
+  | V { lo = Some l; hi = Some h; _ }
+    when Int64.equal l 0L && Int64.equal h 0L -> False
+  | _ -> if may_contain a 0L then Unknown else True
+
+(* ---- refinement ---- *)
+
+(* [refine op a b] assumes "a op b" holds and returns [a] tightened.
+   Both the direct and the relational components tighten: a <= b
+   implies a - L <= b - L, so [b]'s upper relational bound caps
+   [a]'s.  Refinement never invents information on the unconstrained
+   side; an infeasible assumption collapses to [Bot]. *)
+let refine op a b =
+  match a, b with
+  | Bot, _ | _, Bot -> Bot
+  | V av, V bv -> (
+    let cap_hi extra =
+      norm ~lo:av.lo ~hi:(hi_meet av.hi (badd bv.hi extra)) ~dlo:av.dlo
+        ~dhi:(hi_meet av.dhi (badd bv.dhi extra))
+    in
+    let cap_lo extra =
+      norm ~lo:(lo_meet av.lo (badd bv.lo extra)) ~hi:av.hi
+        ~dlo:(lo_meet av.dlo (badd bv.dlo extra))
+        ~dhi:av.dhi
+    in
+    match op with
+    | "le" -> cap_hi (Some 0L)
+    | "lt" -> cap_hi (Some (-1L))
+    | "ge" -> cap_lo (Some 0L)
+    | "gt" -> cap_lo (Some 1L)
+    | "eq" -> meet a b
+    | "ne" -> (
+      (* only a singleton on the other side at one of our endpoints
+         tightens anything *)
+      match singleton b with
+      | Some n ->
+        let lo' =
+          match av.lo with
+          | Some l when Int64.equal l n -> bsucc av.lo
+          | _ -> av.lo
+        in
+        let hi' =
+          match av.hi with
+          | Some h when Int64.equal h n -> bpred av.hi
+          | _ -> av.hi
+        in
+        norm ~lo:lo' ~hi:hi' ~dlo:av.dlo ~dhi:av.dhi
+      | None -> a)
+    | _ -> a)
+
+let flip = function
+  | "lt" -> "gt"
+  | "le" -> "ge"
+  | "gt" -> "lt"
+  | "ge" -> "le"
+  | op -> op (* eq, ne are symmetric *)
+
+let negate = function
+  | "eq" -> "ne"
+  | "ne" -> "eq"
+  | "lt" -> "ge"
+  | "le" -> "gt"
+  | "gt" -> "le"
+  | "ge" -> "lt"
+  | op -> op
+
+let pp_bound ppf = function
+  | None -> Fmt.string ppf "_"
+  | Some n -> Fmt.pf ppf "%Ld" n
+
+let pp ppf = function
+  | Bot -> Fmt.string ppf "bot"
+  | V { lo; hi; dlo; dhi } ->
+    Fmt.pf ppf "[%a,%a]" pp_bound lo pp_bound hi;
+    (match dlo, dhi with
+     | None, None -> ()
+     | _ -> Fmt.pf ppf "{v-L:[%a,%a]}" pp_bound dlo pp_bound dhi)
+
+let to_string a = Fmt.str "%a" pp a

@@ -1,0 +1,144 @@
+(* SA012: interp/compiled slot-layout consistency — a load-time
+   well-formedness verifier for the compiled backend's representation
+   of this function.
+
+   Two halves:
+
+   - The compiled {!Sage_backend.Layout} of the recovered header must
+     satisfy the invariants the interpreter's {!Packet_view} semantics
+     rely on: identifier-keyed slot sharing (two fields share a slot
+     iff their names normalize to the same C identifier), masks derived
+     from widths, contiguous bit offsets, and the fixed-byte arithmetic
+     both serializers use.  Any violation means the two backends would
+     read different bytes for the same field.
+
+   - Every [Assign] must compile to *its own* right-hand side:
+     {!Sage_backend.Compiled.effective_assign_expr} is the single point
+     where the compiled code may substitute an expression, and the only
+     sanctioned substitution is none at all.  Running the verifier with
+     the [divergence] fixture armed (the same flag `fuzz
+     --seeded-divergence` passes to [load]) makes the mis-compiled
+     checksum assignment a static Error — the fixture the dynamic
+     backend-agreement oracle needs thousands of packets to catch. *)
+
+module Ir = Sage_codegen.Ir
+module Hd = Sage_rfc.Header_diagram
+module L = Sage_backend.Layout
+module Compiled = Sage_backend.Compiled
+module D = Diagnostic
+
+let check ?divergence (d : Dataflow.ctx) =
+  let func = d.Dataflow.func in
+  let diags = ref [] in
+  let emit ?field ?stmt_id severity text =
+    diags :=
+      D.v ?field ?stmt_id ~code:"SA012" ~severity ~fn_name:func.Ir.fn_name
+        ~protocol:func.Ir.protocol text
+      :: !diags
+  in
+  (* ---- compiled layout invariants ---- *)
+  (match d.Dataflow.layout with
+   | None -> ()
+   | Some layout ->
+     let cl = L.of_layout layout in
+     let fixed =
+       List.filter (fun (f : Hd.field) -> not f.Hd.variable) layout.Hd.fields
+     in
+     if Array.length cl.L.fields <> List.length fixed then
+       emit D.Error
+         (Printf.sprintf
+            "compiled layout has %d fixed fields, the diagram has %d"
+            (Array.length cl.L.fields) (List.length fixed))
+     else begin
+       List.iteri
+         (fun i (src : Hd.field) ->
+           let f = cl.L.fields.(i) in
+           let ident = Hd.c_identifier src.Hd.name in
+           if f.L.ident <> ident then
+             emit ~field:ident D.Error
+               (Printf.sprintf "slot %d compiled as %S, diagram says %S"
+                  i f.L.ident ident);
+           if f.L.bits <> src.Hd.bits then
+             emit ~field:ident D.Error
+               (Printf.sprintf "field width %d bits, diagram says %d"
+                  f.L.bits src.Hd.bits);
+           if f.L.bit_off <> src.Hd.bit_offset then
+             emit ~field:ident D.Error
+               (Printf.sprintf "field offset bit %d, diagram says bit %d"
+                  f.L.bit_off src.Hd.bit_offset);
+           if f.L.mask <> L.mask_of_bits f.L.bits then
+             emit ~field:ident D.Error
+               (Printf.sprintf "mask %Ld is not the %d-bit mask %Ld"
+                  f.L.mask f.L.bits
+                  (L.mask_of_bits f.L.bits));
+           if f.L.slot < 0 || f.L.slot >= cl.L.nslots then
+             emit ~field:ident D.Error
+               (Printf.sprintf "slot %d out of range (%d slots)" f.L.slot
+                  cl.L.nslots);
+           match Hashtbl.find_opt cl.L.index f.L.ident with
+           | Some s when s = f.L.slot -> ()
+           | Some s ->
+             emit ~field:ident D.Error
+               (Printf.sprintf
+                  "index resolves %S to slot %d but the field holds slot %d"
+                  f.L.ident s f.L.slot)
+           | None ->
+             emit ~field:ident D.Error
+               (Printf.sprintf "index has no entry for %S" f.L.ident))
+         fixed;
+       (* identifier-keyed sharing, both directions *)
+       Array.iteri
+         (fun i (a : L.field) ->
+           Array.iteri
+             (fun j (b : L.field) ->
+               if i < j then
+                 if (a.L.ident = b.L.ident) <> (a.L.slot = b.L.slot) then
+                   emit ~field:a.L.ident D.Error
+                     (Printf.sprintf
+                        "fields %S and %S %s an identifier but %s a slot"
+                        a.L.ident b.L.ident
+                        (if a.L.ident = b.L.ident then "share" else
+                           "do not share")
+                        (if a.L.slot = b.L.slot then "share" else
+                           "do not share")))
+             cl.L.fields)
+         cl.L.fields;
+       let total_bits =
+         List.fold_left (fun acc (f : Hd.field) -> acc + f.Hd.bits) 0 fixed
+       in
+       if cl.L.fixed_bytes <> (total_bits + 7) / 8 then
+         emit D.Error
+           (Printf.sprintf
+              "fixed_bytes %d but the diagram's %d bits round to %d"
+              cl.L.fixed_bytes total_bits
+              ((total_bits + 7) / 8))
+     end);
+  (* ---- assignment fidelity against the compiled backend ---- *)
+  let tamper = divergence = Some func.Ir.fn_name in
+  let rec scan ~base stmts =
+    match stmts with
+    | [] -> ()
+    | s :: rest ->
+      (match s with
+       | Ir.Assign ((Ir.Lfield _ as lv), e) ->
+         let compiled = Compiled.effective_assign_expr ~tamper lv e in
+         if not (Ir.equal_expr compiled e) then
+           emit
+             ?field:(match lv with
+                     | Ir.Lfield (Ir.Proto, f) -> Some f
+                     | _ -> None)
+             ~stmt_id:base D.Error
+             (Printf.sprintf
+                "assignment compiles to a different expression: IR has (%s), \
+                 compiled code stores (%s)"
+                (Fmt.str "%a" Ir.pp_expr e)
+                (Fmt.str "%a" Ir.pp_expr compiled))
+       | Ir.If (_, then_, else_) ->
+         scan ~base:(base + 1) then_;
+         scan ~base:(base + 1 + Ir.extent then_) else_
+       | Ir.Assign (Ir.Lvar _, _) | Ir.Do _ | Ir.Discard | Ir.Send _
+       | Ir.Comment _ -> ());
+      scan ~base:(base + Ir.stmt_extent s) rest
+  in
+  scan ~base:0 func.Ir.body;
+  List.rev !diags

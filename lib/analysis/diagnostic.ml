@@ -7,11 +7,12 @@ type t = {
   protocol : string;
   text : string;
   field : string option;
+  stmt_id : int option;
   sentence : string option;
 }
 
-let v ?field ?sentence ~code ~severity ~fn_name ~protocol text =
-  { code; severity; fn_name; protocol; text; field; sentence }
+let v ?field ?stmt_id ?sentence ~code ~severity ~fn_name ~protocol text =
+  { code; severity; fn_name; protocol; text; field; stmt_id; sentence }
 
 let severity_name = function
   | Error -> "error"
@@ -29,22 +30,43 @@ let catalog =
     ("SA004", "statement unreachable or ineffective after Discard/Send");
     ("SA005", "constant exceeds the field's bit width");
     ("SA006", "header field written after the checksum assignment");
+    ("SA007", "packet access not provably in bounds for all packet lengths");
+    ("SA008", "assigned value range exceeds the field's bit width");
+    ("SA009", "branch condition statically decided (dead or redundant)");
+    ("SA010", "checksum window does not cover every written header field");
+    ("SA011", "FSM wedge state: no out-edge to a recovering state");
+    ("SA012", "interp/compiled slot layout inconsistency");
   ]
 
 let describe_code code = List.assoc_opt code catalog
+
+(* (function, code, stmt id) leads so `analyze --format json` output is
+   byte-identical however the diagnostics were produced (whatever
+   --jobs, whatever check emitted first); severity/field/text break the
+   remaining ties.  [None] statement ids (program-level findings like
+   SA011/SA012, or checks that predate ids) order after located ones. *)
+let compare_stmt_id a b =
+  match a, b with
+  | None, None -> 0
+  | None, Some _ -> 1
+  | Some _, None -> -1
+  | Some a, Some b -> compare a b
 
 let compare_diag a b =
   let c = compare a.fn_name b.fn_name in
   if c <> 0 then c
   else
-    let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+    let c = compare a.code b.code in
     if c <> 0 then c
     else
-      let c = compare a.code b.code in
+      let c = compare_stmt_id a.stmt_id b.stmt_id in
       if c <> 0 then c
       else
-        let c = compare a.field b.field in
-        if c <> 0 then c else compare a.text b.text
+        let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+        if c <> 0 then c
+        else
+          let c = compare a.field b.field in
+          if c <> 0 then c else compare a.text b.text
 
 let sort diags = List.stable_sort compare_diag diags
 
@@ -62,6 +84,9 @@ let to_string d =
        d.fn_name d.text);
   (match d.field with
    | Some f -> Buffer.add_string buf (Printf.sprintf " [field: %s]" f)
+   | None -> ());
+  (match d.stmt_id with
+   | Some id -> Buffer.add_string buf (Printf.sprintf " [stmt %d]" id)
    | None -> ());
   (match d.sentence with
    | Some s -> Buffer.add_string buf (Printf.sprintf "\n        spec: %S" s)
@@ -115,6 +140,9 @@ let to_json d =
       ("message", json_str d.text);
     ]
     @ (match d.field with Some f -> [ ("field", json_str f) ] | None -> [])
+    @ (match d.stmt_id with
+       | Some id -> [ ("stmt", string_of_int id) ]
+       | None -> [])
     @ (match d.sentence with
        | Some s -> [ ("sentence", json_str s) ]
        | None -> [])

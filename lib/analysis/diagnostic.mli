@@ -17,6 +17,9 @@ type t = {
   protocol : string;
   text : string;           (** human-readable one-line message *)
   field : string option;   (** header field involved, if any *)
+  stmt_id : int option;
+      (** stable pre-order statement id ([Ir.numbered_stmts]) the
+          finding anchors to — the same numbering coverage uses *)
   sentence : string option;
       (** per-sentence provenance: the specification sentence behind the
           finding (e.g. the unparsed sentence that mentions an
@@ -25,6 +28,7 @@ type t = {
 
 val v :
   ?field:string ->
+  ?stmt_id:int ->
   ?sentence:string ->
   code:string ->
   severity:severity ->
@@ -42,8 +46,11 @@ val catalog : (string * string) list
 val describe_code : string -> string option
 
 val sort : t list -> t list
-(** Deterministic order: function, then severity (errors first), code,
-    field, message.  Both renderers sort internally. *)
+(** Deterministic order: function, then code, then statement id
+    (program-level findings without one last), then severity (errors
+    first), field, message.  Both renderers sort internally, so
+    rendered output is byte-identical across [--jobs] and check
+    execution order. *)
 
 val errors : t list -> int
 val warnings : t list -> int

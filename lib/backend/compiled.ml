@@ -598,6 +598,20 @@ let bump st =
     fail "step budget exhausted after %d steps (runaway generated code?)"
       budget
 
+(* The expression an [Assign] actually compiles.  Under the
+   seeded-divergence fixture ([tamper]) the computed checksum
+   assignment compiles to the seeded-bug constant instead of its
+   chain.  Exposed so the static slot-consistency verifier (SA012) can
+   re-derive the compiled program's assignment semantics — and catch
+   the fixture — without executing anything. *)
+let effective_assign_expr ~tamper lv e =
+  match lv with
+  | Ir.Lfield (l, f)
+    when tamper && l = Ir.Proto && f = "checksum"
+         && (match e with Ir.Call _ -> true | _ -> false) ->
+    Ir.Int 0x1234
+  | Ir.Lfield _ | Ir.Lvar _ -> e
+
 let rec comp_block ctx ~base stmts : cstate -> unit =
   let rec go base acc = function
     | [] -> List.rev acc
@@ -624,16 +638,8 @@ and comp_stmt ctx ~id stmt : cstate -> unit =
     ctx.point_ids <- id :: ctx.point_ids;
     let body =
       match stmt with
-      | Ir.Assign (Ir.Lfield (l, f), e) ->
-        let e =
-          (* the seeded-divergence fixture: compile the checksum
-             assignment to the seeded-bug constant instead *)
-          if
-            ctx.tamper && l = Ir.Proto && f = "checksum"
-            && (match e with Ir.Call _ -> true | _ -> false)
-          then Ir.Int 0x1234
-          else e
-        in
+      | Ir.Assign ((Ir.Lfield (l, f) as lv), e) ->
+        let e = effective_assign_expr ~tamper:ctx.tamper lv e in
         (match l with
          | Ir.Proto when is_var_field ctx.layout f ->
            (* bytes target: keep the value path *)

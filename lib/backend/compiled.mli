@@ -10,3 +10,14 @@
     checksum assignment (see {!Seeded_divergence}). *)
 
 include Intf.S
+
+val effective_assign_expr :
+  tamper:bool ->
+  Sage_codegen.Ir.lvalue ->
+  Sage_codegen.Ir.expr ->
+  Sage_codegen.Ir.expr
+(** The expression an assignment actually compiles to: the identity,
+    except under the seeded-divergence fixture ([tamper = true]), where
+    a computed checksum assignment becomes the seeded-bug constant.
+    This is the single point the compiled backend may differ from the
+    IR, and the static slot verifier (SA012) checks it. *)

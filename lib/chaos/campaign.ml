@@ -51,6 +51,43 @@ let case_seed ~seed label =
 
 let partition_plan = [ { Faults.probability = 1.0; fault = Faults.Drop } ]
 
+(* Static/dynamic FSM cross-validation: when a generated stack wedges
+   dynamically and exposes its FSM state variable, that state must be
+   one the SA011 model can enter — a wedge in a state the static
+   analyzer does not even know about means the recovered model is
+   unsound, which is its own campaign failure. *)
+let static_fsm_check ~(run : P.run Lazy.t) (w : Workload.t) violations =
+  if
+    not
+      (List.exists
+         (fun v -> v.Oracle.kind = Oracle.No_silent_wedge)
+         violations)
+  then []
+  else
+    match w.Workload.fsm_state () with
+    | None -> []
+    | Some (var, value) ->
+      let funcs = (Lazy.force run).P.codegen.P.functions in
+      let models = Sage_analysis.Fsm.models funcs in
+      (match
+         List.find_opt (fun m -> m.Sage_analysis.Fsm.var = var) models
+       with
+       | None ->
+         [ Oracle.v No_silent_wedge
+             "static cross-check: wedged with %s=%Ld but SA011 recovers no \
+              FSM model for %s"
+             var value var ]
+       | Some m ->
+         if List.exists (Int64.equal value) m.Sage_analysis.Fsm.states then
+           []
+         else
+           [ Oracle.v No_silent_wedge
+               "static cross-check: wedged with %s=%Ld, a state outside the \
+                SA011 model (%s)"
+               var value
+               (String.concat ", "
+                  (List.map Int64.to_string m.Sage_analysis.Fsm.states)) ])
+
 (* Interpret one schedule against one workload.  Episode transitions
    swap fault plans and kill/restart the node; a crashed node is
    restarted when its crash episode ends.  [healed] marks the ticks of
@@ -120,7 +157,13 @@ let run ?trace ?metrics ?backend ?(soak = 0) ?(wedge = false) ~seed ~scenarios
               Trace.instant ~cat:"chaos"
                 ~args:[ ("case", Trace.Str label) ]
                 trace "chaos-case";
-              let violations = run_schedule ?trace ~workload:(make ?trace ()) schedule in
+              let workload = make ?trace () in
+              let violations = run_schedule ?trace ~workload schedule in
+              let statics =
+                static_fsm_check ~run:c.generated_run workload violations
+              in
+              incr_m ~by:(List.length statics) "chaos.static_fsm_disagreements";
+              let violations = violations @ statics in
               incr_m "chaos.cases";
               incr_m ~by:(Episode.duration schedule) "chaos.ticks";
               incr_m ~by:(List.length schedule) "chaos.episodes";

@@ -14,3 +14,38 @@ let arm (w : Workload.t) =
         w.Workload.crash ());
     restart = (fun () -> if not !crashed then w.Workload.restart ());
   }
+
+(* ------------------------------------------------------------------ *)
+(* The static counterpart: an IR tamper the SA011 wedge detector must  *)
+(* catch without running a single packet.                              *)
+(* ------------------------------------------------------------------ *)
+
+module Ir = Sage_codegen.Ir
+
+let fsm_target_var = "bfd.SessionState"
+let fsm_recovery_state = 1
+
+let tamper_fsm ?(var = fsm_target_var) ?(dst = fsm_recovery_state)
+    (funcs : Ir.func list) =
+  (* delete every transition into [dst] — for BFD, the Down(1)
+     transitions that recover a stale session — so the Up state loses
+     its only out-edges and the static model wedges *)
+  let is_recovery = function
+    | Ir.Assign (Ir.Lfield (Ir.State, v), Ir.Int k) -> v = var && k = dst
+    | _ -> false
+  in
+  let rec strip stmts =
+    List.filter_map
+      (fun s ->
+        match s with
+        | Ir.If (c, then_, else_) ->
+          (* the innermost guard directly containing the recovery
+             assignment goes with it: the whole edge disappears *)
+          if List.exists is_recovery then_ || List.exists is_recovery else_
+          then None
+          else Some (Ir.If (c, strip then_, strip else_))
+        | s when is_recovery s -> None
+        | s -> Some s)
+      stmts
+  in
+  List.map (fun (f : Ir.func) -> { f with Ir.body = strip f.Ir.body }) funcs

@@ -6,3 +6,22 @@
     Schedules without a crash episode are unaffected. *)
 
 val arm : Workload.t -> Workload.t
+
+val fsm_target_var : string
+(** ["bfd.SessionState"] — the state variable the IR tamper wedges. *)
+
+val fsm_recovery_state : int
+(** [1] (Down) — the recovery target state whose transitions the
+    tamper deletes. *)
+
+val tamper_fsm :
+  ?var:string ->
+  ?dst:int ->
+  Sage_codegen.Ir.func list ->
+  Sage_codegen.Ir.func list
+(** The static analogue of {!arm}: delete every IR transition driving
+    [var] (default {!fsm_target_var}) into [dst] (default
+    {!fsm_recovery_state}), innermost enclosing guard included.  On the
+    BFD corpus this leaves the Up state with no out-edge, which the
+    SA011 wedge detector must flag — `sage analyze --seeded-wedge`
+    is the self-test that it can. *)

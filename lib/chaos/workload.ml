@@ -29,6 +29,7 @@ type t = {
   crash : unit -> unit;
   restart : unit -> unit;
   check : heal_ticks:int -> Oracle.violation list;
+  fsm_state : unit -> (string * int64) option;
 }
 
 let a = Addr.of_string_exn
@@ -149,6 +150,7 @@ let icmp ~stack ~run ?trace ?backend ~seed () =
     crash = (fun () -> up := false);
     restart = (fun () -> up := true);
     check;
+    fsm_state = (fun () -> None);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -233,6 +235,7 @@ let igmp ~stack ~run ?trace ?backend ~seed () =
         up := true;
         List.iter (Igmp_switch.join switch) groups);
     check;
+    fsm_state = (fun () -> None);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -333,6 +336,7 @@ let ntp ~stack ~run ?trace ?backend ~seed () =
     crash = (fun () -> up := false);
     restart = (fun () -> up := true);
     check;
+    fsm_state = (fun () -> None);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -410,6 +414,17 @@ let bfd ~stack ~run ?trace ?backend ~seed () =
     crash = (fun () -> Bfd_link.kill_endpoint link ~at_a:false);
     restart = (fun () -> Bfd_link.restart_endpoint link ~at_a:false);
     check;
+    fsm_state =
+      (match stack with
+       | Reference -> fun () -> None
+       | Generated ->
+         (* the surviving endpoint's session state, as the generated
+            reception rules maintain it *)
+         fun () ->
+           Some
+             ( "bfd.SessionState",
+               Int64.of_int
+                 (Bfd.state_code (Bfd_link.link_state link ~at_a:true)) ));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -505,6 +520,7 @@ let tcp ~stack ~run ?trace ?backend ~seed () =
     crash = (fun () -> up := false);
     restart = (fun () -> up := true);
     check;
+    fsm_state = (fun () -> None);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -576,6 +592,10 @@ let bgp ~stack ~run ?trace ?backend ~seed () =
   {
     name = "bgp/" ^ stack_name stack;
     step;
+    fsm_state =
+      (match stack with
+       | Reference -> fun () -> None
+       | Generated -> fun () -> Some ("bgp.State", Int64.of_int !state));
     set_plan = Faults.set_plan wire;
     crash =
       (fun () ->

@@ -26,6 +26,13 @@ type t = {
   restart : unit -> unit;  (** respawn it (fresh protocol state) *)
   check : heal_ticks:int -> Oracle.violation list;
       (** evaluate the recovery oracles after the schedule has run *)
+  fsm_state : unit -> (string * int64) option;
+      (** the live FSM state-variable binding of a generated stack that
+          has one ([("bfd.SessionState", v)] / [("bgp.State", v)]),
+          [None] otherwise.  The campaign uses it to cross-validate a
+          dynamic wedge against the static SA011 model: a stack stuck
+          in a state the static analyzer cannot even enter is a
+          static/dynamic disagreement. *)
 }
 
 val for_corpus :

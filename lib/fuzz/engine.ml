@@ -45,6 +45,9 @@ type result = {
   findings : finding list;  (** oldest first, at most one per function *)
   coverage : Coverage.t;
   funcs : Ir.func list;
+  proved : string list;  (** SA007-proved functions cross-validated *)
+  proof_violations : finding list;
+      (** never-raise findings on proved functions *)
 }
 
 let corpus_cap = 32
@@ -71,7 +74,7 @@ let shrink ~protocol ~env ?alt prog ~kind packet =
     packet
 
 let run ?trace ?metrics ?(backend = Backend.Interp) ?differential ?divergence
-    ~seed ~iters ~protocol targets =
+    ?(proved = []) ~seed ~iters ~protocol targets =
   let differential =
     match differential with
     | Some d -> d
@@ -201,6 +204,21 @@ let run ?trace ?metrics ?(backend = Backend.Interp) ?differential ?divergence
     Metrics.incr ~by:covered m "fuzz.coverage.covered";
     Metrics.incr ~by:points m "fuzz.coverage.points");
   Trace.counter ~cat:"fuzz" trace "fuzz.coverage.covered" covered;
+  let findings = List.rev !findings in
+  (* static/dynamic cross-validation: a never-raise finding on an
+     SA007-proved function means the static proof was unsound — promote
+     it so callers can fail the run even in modes that tolerate
+     ordinary findings *)
+  let proof_violations =
+    List.filter
+      (fun fd -> fd.kind = Oracle.Never_raise && List.mem fd.fn proved)
+      findings
+  in
+  (match metrics with
+   | None -> ()
+   | Some m ->
+     Metrics.incr ~by:(List.length proof_violations) m
+       "fuzz.proof_violations");
   {
     protocol;
     seed;
@@ -208,9 +226,11 @@ let run ?trace ?metrics ?(backend = Backend.Interp) ?differential ?divergence
     executions = !executions;
     rejected = !rejected;
     corpus = !interesting;
-    findings = List.rev !findings;
+    findings;
     coverage;
     funcs;
+    proved;
+    proof_violations;
   }
 
 let hex b =
@@ -240,6 +260,19 @@ let summary r =
         (Printf.sprintf "  %-44s %d/%d\n" s.Coverage.fn s.Coverage.fn_covered
            s.Coverage.fn_points))
     (Coverage.stats r.coverage r.funcs);
+  if r.proved <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "proved     : %d function(s) SA007-proved\n"
+         (List.length r.proved));
+    Buffer.add_string buf
+      (match r.proof_violations with
+       | [] -> "proof-check: ok (no bounds finding on a proved function)\n"
+       | vs ->
+         Printf.sprintf
+           "proof-check: VIOLATED (%d never-raise finding(s) on proved \
+            functions)\n"
+           (List.length vs))
+  end;
   Buffer.add_string buf
     (Printf.sprintf "findings   : %d\n" (List.length r.findings));
   List.iter

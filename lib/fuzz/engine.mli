@@ -21,6 +21,11 @@ type result = {
   findings : finding list;  (** oldest first, at most one per function *)
   coverage : Sage_interp.Coverage.t;
   funcs : Sage_codegen.Ir.func list;
+  proved : string list;
+      (** the SA007-proved functions this run cross-validates against *)
+  proof_violations : finding list;
+      (** never-raise findings on proved functions — a static-proof
+          unsoundness, never an acceptable outcome *)
 }
 
 val run :
@@ -29,6 +34,7 @@ val run :
   ?backend:Sage_backend.Backend.choice ->
   ?differential:bool ->
   ?divergence:string ->
+  ?proved:string list ->
   seed:int ->
   iters:int ->
   protocol:string ->
@@ -37,6 +43,10 @@ val run :
 (** Fuzz the given (function, layout) targets round-robin for [iters]
     iterations on [backend] (default [Interp]).  Raises
     [Invalid_argument] on an empty target list.
+
+    [proved] names the functions the static analyzer claims SA007-safe
+    (see {!Sage_analysis.Analyzer.proved_functions}); any [Never_raise]
+    finding on one of them is surfaced in [proof_violations].
 
     [differential] (default: on iff [backend] is [Compiled]) re-runs
     every checked iteration on the alternate backend — consuming no

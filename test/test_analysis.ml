@@ -84,7 +84,7 @@ let test_missing_plain_field_is_warning () =
 let test_partial_assignment_is_warning () =
   let body =
     [ assign "type" 8; assign "code" 0;
-      Ir.If (Ir.Cmp ("==", Ir.Param "x", Ir.Int 1),
+      Ir.If (Ir.Cmp ("eq", Ir.Param "current_time", Ir.Int 1),
              [ assign "identifier" 7 ], []);
       assign "checksum" 0; Ir.Send "test message" ]
   in
@@ -101,7 +101,7 @@ let test_diverging_branch_exempt () =
      then-branch are still definite on every surviving path *)
   let body =
     [ assign "type" 8; assign "code" 0;
-      Ir.If (Ir.Cmp ("==", Ir.Param "x", Ir.Int 1),
+      Ir.If (Ir.Cmp ("eq", Ir.Param "current_time", Ir.Int 1),
              [ assign "identifier" 7 ], [ Ir.Discard ]);
       assign "checksum" 0; Ir.Send "test message" ]
   in

@@ -187,6 +187,55 @@ let test_fuzz_coverage_out () =
   checkb "coverage json has functions" true (contains json "\"functions\"");
   checkb "coverage json has totals" true (contains json "\"points\"")
 
+(* ---- analyze verb: proofs, fixtures, policies, determinism ---- *)
+
+let test_malformed_fail_on () =
+  expect_usage_error "analyze fail-on" "analyze --fail-on never-ever";
+  expect_usage_error "run fail-on" "run --fail-on never-ever";
+  expect_usage_error "report fail-on" "report --fail-on never-ever"
+
+let test_analyze_prove_clean () =
+  let code, _out, err = run_cli "analyze -p icmp --prove" in
+  checki "proved corpus exits 0" 0 code;
+  checkb "proof summary on stderr" true
+    (contains err "functions proved in-bounds");
+  checkb "everything proved" false (contains err "unproved:")
+
+let test_analyze_seeded_wedge_exit () =
+  let code, out, _err = run_cli "analyze -p bfd --seeded-wedge --prove" in
+  checki "wedge fixture exits 1" 1 code;
+  checkb "SA011 reported" true (contains out "SA011");
+  checkb "names the wedge state" true (contains out "wedge")
+
+let test_analyze_seeded_divergence_exit () =
+  let code, out, _err = run_cli "analyze --seeded-divergence --prove" in
+  checki "divergence fixture exits 1" 1 code;
+  checkb "SA012 reported" true (contains out "SA012");
+  checkb "shows the compiled expression" true
+    (contains out "compiles to a different expression")
+
+let test_analyze_fail_on_policies () =
+  (* icmp carries warnings but no errors: the two policies must land on
+     opposite exit codes over the same findings *)
+  let lax, _, _ = run_cli "analyze -p icmp --fail-on error" in
+  let strict, _, _ = run_cli "analyze -p icmp --fail-on warning" in
+  checki "--fail-on error exits 0" 0 lax;
+  checki "--fail-on warning exits 1" 1 strict
+
+let test_analyze_json_deterministic () =
+  let c1, out1, _ = run_cli "analyze -p bgp --format json" in
+  let c2, out2, _ = run_cli "analyze -p bgp --format json --jobs 4" in
+  checki "exit 0 (a)" 0 c1;
+  checki "exit 0 (b)" 0 c2;
+  checkb "json findings" true (contains out1 "\"code\"");
+  Alcotest.check Alcotest.string "byte-identical across --jobs" out1 out2
+
+let test_fuzz_check_proofs () =
+  let code, out, _err = run_cli "fuzz --seed 42 --iters 200 --check-proofs" in
+  checki "proof cross-check exits 0" 0 code;
+  checkb "proof set reported" true (contains out "SA007-proved");
+  checkb "cross-check passed" true (contains out "proof-check: ok")
+
 let suite =
   [
     Alcotest.test_case "unknown flag: fuzz" `Quick test_unknown_flag_fuzz;
@@ -232,4 +281,17 @@ let suite =
       test_chaos_seeded_wedge_exit;
     Alcotest.test_case "chaos: identical across --jobs" `Slow
       test_chaos_deterministic_across_jobs;
+    Alcotest.test_case "malformed --fail-on" `Quick test_malformed_fail_on;
+    Alcotest.test_case "analyze: --prove clean corpus exits 0" `Slow
+      test_analyze_prove_clean;
+    Alcotest.test_case "analyze: seeded wedge exits 1" `Slow
+      test_analyze_seeded_wedge_exit;
+    Alcotest.test_case "analyze: seeded divergence exits 1" `Slow
+      test_analyze_seeded_divergence_exit;
+    Alcotest.test_case "analyze: --fail-on policies" `Slow
+      test_analyze_fail_on_policies;
+    Alcotest.test_case "analyze: json identical across --jobs" `Slow
+      test_analyze_json_deterministic;
+    Alcotest.test_case "fuzz: --check-proofs passes" `Slow
+      test_fuzz_check_proofs;
   ]

@@ -11,6 +11,7 @@ let () =
       ("rfc", Test_rfc.suite);
       ("codegen", Test_codegen.suite);
       ("analysis", Test_analysis.suite);
+      ("absint", Test_absint.suite);
       ("interp", Test_interp.suite);
       ("sim", Test_sim.suite);
       ("faults", Test_faults.suite);
