@@ -717,6 +717,75 @@ let corpus_cmd =
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg)
 
 (* ------------------------------------------------------------------ *)
+(* sage reqs                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let reqs_cmd =
+  let format_arg =
+    let doc = "Output format: $(b,text) (default) or $(b,json)." in
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Mine every corpus (all 8, including the rewritten variants) and \
+       print a per-corpus summary table instead of one protocol's \
+       requirement list."
+    in
+    Arg.(value & flag & info [ "corpus" ] ~doc)
+  in
+  let run proto verbose rewritten jobs cache_cap corpus format =
+    setup_logs verbose;
+    if corpus then begin
+      let corpora =
+        [ ("icmp", Icmp, false); ("icmp-rw", Icmp, true);
+          ("igmp", Igmp, false); ("ntp", Ntp, false);
+          ("bfd", Bfd, false); ("bfd-rw", Bfd, true);
+          ("tcp", Tcp, false); ("bgp", Bgp, false) ]
+      in
+      Printf.printf "%-8s  %5s  %8s  %9s\n" "corpus" "mined" "compiled"
+        "checkable";
+      List.iter
+        (fun (name, proto, rewritten) ->
+          let result = run_pipeline ~jobs ?cache_cap proto rewritten in
+          let mined, compiled, checkable =
+            Sage_reqs.Render.summary_counts result.P.requirements
+          in
+          Printf.printf "%-8s  %5d  %8d  %9d\n" name mined compiled checkable)
+        corpora;
+      0
+    end
+    else begin
+      let result = run_pipeline ~jobs ?cache_cap proto rewritten in
+      let protocol = result.P.spec.P.protocol in
+      (match format with
+       | `Text ->
+         print_string
+           (Sage_reqs.Render.text ~protocol result.P.requirements)
+       | `Json ->
+         print_string
+           (Sage_reqs.Render.json ~protocol result.P.requirements));
+      0
+    end
+  in
+  let doc =
+    "Mine the RFC 2119 requirement sentences (MUST / MUST NOT / SHALL / \
+     SHOULD) from a corpus and show which compiled into executable \
+     rules: a guard over the decoded packet, session state and \
+     environment plus an obligation over the execution outcome \
+     (discard, transmission, procedure calls, state clearing, checksum \
+     validity), anchored to the generated functions via sentence \
+     provenance.  Checkable requirements are enforced by \
+     $(b,sage fuzz --check-reqs) and $(b,sage chaos --check-reqs).  \
+     Output is deterministic: byte-identical across $(b,--jobs) values \
+     and cache states."
+  in
+  Cmd.v (Cmd.info "reqs" ~doc)
+    Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
+          $ cache_arg $ corpus_arg $ format_arg)
+
+(* ------------------------------------------------------------------ *)
 (* sage fuzz                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -759,17 +828,59 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "seeded-divergence" ] ~doc)
   in
+  let check_reqs_arg =
+    let doc =
+      "Enforce the mined RFC 2119 requirements (see $(b,sage reqs)) as a \
+       seventh oracle: a checkable requirement whose guard holds on the \
+       input must see its obligation met by the outcome, or the run \
+       reports a finding carrying the RQ id and source sentence."
+    in
+    Arg.(value & flag & info [ "check-reqs" ] ~doc)
+  in
+  let seeded_violation_arg =
+    let doc =
+      "Tamper the generated IR by deleting the guarded discard statements \
+       from one BFD function before fuzzing (requirement-oracle \
+       self-test: the run must report exactly one requirement finding \
+       with its RQ id, source sentence and a shrunk witness packet).  \
+       Implies $(b,--check-reqs)."
+    in
+    Arg.(value & flag & info [ "seeded-violation" ] ~doc)
+  in
   let run proto verbose rewritten jobs backend seed iters seeded_bug
-      seeded_divergence check_proofs coverage_out stats trace_file
-      trace_format trace_clock =
+      seeded_divergence check_proofs check_reqs seeded_violation coverage_out
+      stats trace_file trace_format trace_clock =
     setup_logs verbose;
     with_trace ~clock:trace_clock trace_file trace_format @@ fun trace ->
+    let check_reqs = check_reqs || seeded_violation in
     let result = run_pipeline ~jobs ?trace proto rewritten in
     let funcs = result.P.codegen.P.functions in
     let funcs =
       if seeded_bug then
         Sage_fuzz.Seeded_bug.tamper_checksum
           ~fn:Sage_fuzz.Seeded_bug.default_target funcs
+      else funcs
+    in
+    let funcs =
+      if seeded_violation then begin
+        if
+          not
+            (List.exists
+               (fun (f : Sage_codegen.Ir.func) ->
+                 f.Sage_codegen.Ir.fn_name
+                 = Sage_reqs.Seeded_violation.default_target)
+               funcs)
+        then begin
+          Printf.eprintf
+            "--seeded-violation targets %s; run it on the %s corpus (-p %s)\n"
+            Sage_reqs.Seeded_violation.default_target
+            Sage_reqs.Seeded_violation.default_protocol
+            Sage_reqs.Seeded_violation.default_protocol;
+          exit 2
+        end;
+        Sage_reqs.Seeded_violation.tamper_discards
+          ~fn:Sage_reqs.Seeded_violation.default_target funcs
+      end
       else funcs
     in
     let proved =
@@ -801,9 +912,10 @@ let fuzz_cmd =
         Some Sage_backend.Seeded_divergence.default_target
       else None
     in
+    let reqs = if check_reqs then result.P.requirements else [] in
     let fz =
       Sage_fuzz.Engine.run ?trace ~metrics:result.P.metrics ~backend
-        ?divergence ~proved ~seed ~iters
+        ?divergence ~proved ~reqs ~seed ~iters
         ~protocol:result.P.spec.P.protocol targets
     in
     print_string (Sage_fuzz.Engine.summary fz);
@@ -831,8 +943,9 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const run $ protocol_arg $ verbose_arg $ rewritten_arg $ jobs_arg
           $ backend_arg $ seed_arg $ iters_arg $ seeded_bug_arg
-          $ seeded_divergence_arg $ check_proofs_arg $ coverage_out_arg
-          $ stats_arg $ trace_arg $ trace_format_arg $ trace_clock_arg)
+          $ seeded_divergence_arg $ check_proofs_arg $ check_reqs_arg
+          $ seeded_violation_arg $ coverage_out_arg $ stats_arg $ trace_arg
+          $ trace_format_arg $ trace_clock_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sage chaos                                                          *)
@@ -934,8 +1047,17 @@ let chaos_cmd =
     in
     Arg.(value & flag & info [ "seeded-wedge" ] ~doc)
   in
-  let run verbose jobs backend seed scenario schedule soak wedge corpora_sel
-      stats trace_file trace_format trace_clock =
+  let check_reqs_arg =
+    let doc =
+      "Assert the mined RFC 2119 requirements (see $(b,sage reqs)) on \
+       every generated-function execution during the campaign: a \
+       requirement violated mid-chaos is a case violation carrying the \
+       RQ id and source sentence."
+    in
+    Arg.(value & flag & info [ "check-reqs" ] ~doc)
+  in
+  let run verbose jobs backend seed scenario schedule soak wedge check_reqs
+      corpora_sel stats trace_file trace_format trace_clock =
     setup_logs verbose;
     if scenario <> None && schedule <> None then
       `Error (true, "--scenario and --schedule cannot be combined")
@@ -987,8 +1109,8 @@ let chaos_cmd =
          in
          let metrics = Sage_sched.Metrics.create () in
          let campaign =
-           Sage_chaos.Campaign.run ?trace ~metrics ~backend ~soak ~wedge ~seed
-             ~scenarios ~corpora ()
+           Sage_chaos.Campaign.run ?trace ~metrics ~backend ~soak ~wedge
+             ~check_reqs ~seed ~scenarios ~corpora ()
          in
          print_string (Sage_chaos.Campaign.summary campaign);
          if stats then begin
@@ -1010,8 +1132,9 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(ret
             (const run $ verbose_arg $ jobs_arg $ backend_arg $ seed_arg
-             $ scenario_arg $ schedule_arg $ soak_arg $ wedge_arg $ corpus_arg
-             $ stats_arg $ trace_arg $ trace_format_arg $ trace_clock_arg))
+             $ scenario_arg $ schedule_arg $ soak_arg $ wedge_arg
+             $ check_reqs_arg $ corpus_arg $ stats_arg $ trace_arg
+             $ trace_format_arg $ trace_clock_arg))
 
 (* ------------------------------------------------------------------ *)
 (* sage report                                                         *)
@@ -1056,8 +1179,8 @@ let main_cmd =
   Cmd.group info
     [
       parse_cmd; derivation_cmd; run_cmd; code_cmd; analyze_cmd;
-      ambiguities_cmd; interop_cmd; corpus_cmd; fuzz_cmd; chaos_cmd;
-      report_cmd;
+      ambiguities_cmd; interop_cmd; corpus_cmd; reqs_cmd; fuzz_cmd;
+      chaos_cmd; report_cmd;
     ]
 
 (* exit 2 on CLI usage errors (unknown flags, malformed values) — the

@@ -466,6 +466,7 @@ and comp_call ctx fn args =
     fun st ->
       let k = Rt.int_of_value (ck st) in
       st.selected_session <- Some k;
+      st.called <- "select_session" :: st.called;
       Rt.VInt (if k = st.states.(i) then 1L else 0L)
   | "encapsulate_udp", [ port ] ->
     let cp = comp_expr ctx port in

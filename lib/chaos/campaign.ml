@@ -126,8 +126,8 @@ let run_schedule ?trace ~workload:(w : Workload.t) schedule =
     schedule;
   w.Workload.check ~heal_ticks
 
-let run ?trace ?metrics ?backend ?(soak = 0) ?(wedge = false) ~seed ~scenarios
-    ~corpora () =
+let run ?trace ?metrics ?backend ?(soak = 0) ?(wedge = false)
+    ?(check_reqs = false) ~seed ~scenarios ~corpora () =
   let incr_m ?by name =
     match metrics with None -> () | Some m -> Metrics.incr ?by m name
   in
@@ -136,6 +136,15 @@ let run ?trace ?metrics ?backend ?(soak = 0) ?(wedge = false) ~seed ~scenarios
   let shrunk = ref None in
   List.iter
     (fun (c : corpus_case) ->
+      (* the checkable requirements mined from the run backing this
+         corpus's generated stack; every generated-function execution in
+         a case is then a runtime requirement assertion *)
+      let creqs =
+        if not check_reqs then []
+        else
+          List.filter Sage_reqs.Req.checkable
+            (Lazy.force c.generated_run).P.requirements
+      in
       List.iter
         (fun stack ->
           List.iter
@@ -143,22 +152,55 @@ let run ?trace ?metrics ?backend ?(soak = 0) ?(wedge = false) ~seed ~scenarios
               let schedule = Episode.extend_heal schedule ~by:soak in
               let label = case_label_of ~corpus:c.corpus ~stack ~scenario in
               let cseed = case_seed ~seed label in
+              (* [make] returns the workload plus a reader of the
+                 requirement violations its executions accumulated,
+                 deduplicated per RQ id (a violated requirement fires
+                 once per case, however many packets trip it) *)
               let make ?trace () =
+                let req_hits = ref [] in
+                let observer =
+                  if creqs = [] then None
+                  else
+                    Some
+                      (fun ~fn ~env o ->
+                        let reqs =
+                          List.filter
+                            (fun r -> List.mem fn r.Sage_reqs.Req.fns)
+                            creqs
+                        in
+                        match Sage_reqs.Req.first_violation ~env ~o reqs with
+                        | Some (r, detail) ->
+                          if
+                            not (List.mem_assoc r.Sage_reqs.Req.id !req_hits)
+                          then
+                            req_hits :=
+                              (r.Sage_reqs.Req.id, detail) :: !req_hits
+                        | None -> ())
+                in
                 let w =
                   match
                     Workload.for_corpus ~corpus:c.corpus ~stack
-                      ~run:c.generated_run ?trace ?backend ~seed:cseed ()
+                      ~run:c.generated_run ?trace ?backend ?observer
+                      ~seed:cseed ()
                   with
                   | Ok w -> w
                   | Error e -> invalid_arg e
                 in
-                if wedge then Seeded_wedge.arm w else w
+                let w = if wedge then Seeded_wedge.arm w else w in
+                ( w,
+                  fun () ->
+                    List.rev_map
+                      (fun (id, detail) ->
+                        { Oracle.kind = Oracle.Requirement id; detail })
+                      !req_hits )
               in
               Trace.instant ~cat:"chaos"
                 ~args:[ ("case", Trace.Str label) ]
                 trace "chaos-case";
-              let workload = make ?trace () in
-              let violations = run_schedule ?trace ~workload schedule in
+              let workload, req_violations = make ?trace () in
+              let violations =
+                run_schedule ?trace ~workload schedule @ req_violations ()
+              in
               let statics =
                 static_fsm_check ~run:c.generated_run workload violations
               in
@@ -168,13 +210,24 @@ let run ?trace ?metrics ?backend ?(soak = 0) ?(wedge = false) ~seed ~scenarios
               incr_m ~by:(Episode.duration schedule) "chaos.ticks";
               incr_m ~by:(List.length schedule) "chaos.episodes";
               incr_m ~by:(List.length violations) "chaos.violations";
+              incr_m
+                ~by:
+                  (List.length
+                     (List.filter
+                        (fun v ->
+                          match v.Oracle.kind with
+                          | Oracle.Requirement _ -> true
+                          | _ -> false)
+                        violations))
+                "chaos.req_violations";
               (if violations <> [] && !shrunk = None then begin
                  (* minimize the first failing schedule: the shrink
                     re-runs are untraced so they don't pollute the
                     campaign's event stream *)
                  let kind = (List.hd violations).Oracle.kind in
                  let still_failing s =
-                   let vs = run_schedule ~workload:(make ()) s in
+                   let w2, rv2 = make () in
+                   let vs = run_schedule ~workload:w2 s @ rv2 () in
                    match
                      List.find_opt (fun v -> v.Oracle.kind = kind) vs
                    with

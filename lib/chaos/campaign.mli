@@ -44,6 +44,7 @@ val run :
   ?backend:Sage_backend.Backend.choice ->
   ?soak:int ->
   ?wedge:bool ->
+  ?check_reqs:bool ->
   seed:int ->
   scenarios:(string * Episode.schedule) list ->
   corpora:corpus_case list ->
@@ -52,9 +53,15 @@ val run :
 (** [backend] selects the execution backend for generated stacks
     (default: the interpreter).  [soak] stretches every schedule's
     final heal window by that many ticks.  [wedge] arms the {!Seeded_wedge} no-recovery fixture on
-    every workload.  [metrics] receives the [chaos.*] counters
+    every workload.  [check_reqs] asserts the mined checkable RFC 2119
+    requirements (see {!Sage_reqs.Extract.mine}) on every
+    generated-function execution a case performs; a violation is a
+    case violation of kind {!Oracle.Requirement} carrying the RQ id
+    and source sentence, deduplicated per RQ id within a case.
+    [metrics] receives the [chaos.*] counters
     ([chaos.cases], [chaos.ticks], [chaos.episodes], [chaos.violations],
-    [chaos.shrink_steps]) that {!Sage.Report.stats} surfaces.  [trace]
+    [chaos.req_violations], [chaos.shrink_steps]) that
+    {!Sage.Report.stats} surfaces.  [trace]
     records ["chaos-case"] and ["chaos-episode"] instants (category
     ["chaos"]); shrink re-runs are untraced. *)
 

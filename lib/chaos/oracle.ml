@@ -11,6 +11,7 @@ type kind =
   | Ntp_reachability
   | Fsm_recovery
   | No_silent_wedge
+  | Requirement of string
 
 let kind_name = function
   | Ping_recovery -> "ping-recovery"
@@ -20,6 +21,7 @@ let kind_name = function
   | Ntp_reachability -> "ntp-reachability"
   | Fsm_recovery -> "fsm-recovery"
   | No_silent_wedge -> "no-silent-wedge"
+  | Requirement id -> "requirement " ^ id
 
 let all_kinds =
   [ Ping_recovery; Traceroute_recovery; Bfd_reconvergence; Igmp_reconvergence;

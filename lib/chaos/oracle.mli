@@ -29,7 +29,11 @@
       Connect."  The FSM must leave Idle again once the transport heals.
     - {!No_silent_wedge} — the generic progress oracle: some sign of
       life within {!wedge_budget} post-heal ticks.  This is the oracle
-      the seeded no-recovery fixture trips. *)
+      the seeded no-recovery fixture trips.
+    - {!Requirement} — a mined RFC 2119 requirement (carries its RQ id;
+      see {!Sage_reqs.Req}) violated by a generated-function execution
+      at any point during the campaign case, not just the heal
+      window. *)
 
 type kind =
   | Ping_recovery
@@ -39,6 +43,7 @@ type kind =
   | Ntp_reachability
   | Fsm_recovery
   | No_silent_wedge
+  | Requirement of string
 
 val kind_name : kind -> string
 val all_kinds : kind list

@@ -41,6 +41,7 @@ val for_corpus :
   run:Sage.Pipeline.run Lazy.t ->
   ?trace:Sage_trace.Trace.t ->
   ?backend:Sage_backend.Backend.choice ->
+  ?observer:Sage_sim.Generated_stack.observer ->
   seed:int ->
   unit ->
   (t, string) result
@@ -49,4 +50,7 @@ val for_corpus :
     stack and is only forced for [Generated]; for the ambiguous original
     texts (icmp, bfd) callers pass the disambiguated run — the original
     texts' interoperation failures are the fuzz/interop tiers' subject,
-    chaos asserts recovery of functioning stacks. *)
+    chaos asserts recovery of functioning stacks.  [observer] is handed
+    to the generated stack, seeing every generated-function execution
+    the workload performs (the campaign's requirement-assertion hook);
+    reference-stack workloads never invoke it. *)

@@ -119,6 +119,7 @@ type run = {
   sentences : sentence_report list;
   codegen : codegen_report;
   diagnostics : Sage_analysis.Diagnostic.t list;
+  requirements : Sage_reqs.Req.t list;
   metrics : Sage_sched.Metrics.t;
 }
 
@@ -525,6 +526,8 @@ let run_document ?(jobs = 1) ?cache ?metrics ?trace spec ~title ~text =
   (* statement → source sentence, for diagnostic provenance (phase 4);
      structural comparison, first placement wins *)
   let provenance = ref [] in
+  (* per-sentence context for requirement mining (phase 5) *)
+  let req_sources = ref [] in
   let structs =
     List.filter_map (fun s -> s.Document.diagram) document.Document.sections
   in
@@ -566,6 +569,30 @@ let run_document ?(jobs = 1) ?cache ?metrics ?trace spec ~title ~text =
           | Annotated_non_actionable | Zero_lf | Ambiguous _ | Crashed _ ->
             None
         in
+        (* mining sees the LF only when its code was actually placed:
+           a requirement must never be checked against code that was
+           not generated *)
+        let src_lf, src_note =
+          match report.status, placement with
+          | (Parsed lf | Subject_supplied lf), Some _ -> (Some lf, "")
+          | (Parsed _ | Subject_supplied _), None ->
+            (None, "code generation failed")
+          | Annotated_non_actionable, _ -> (None, "annotated non-actionable")
+          | Zero_lf, _ -> (None, "no logical form (rewrite required)")
+          | Ambiguous _, _ -> (None, "ambiguous (rewrite required)")
+          | Crashed _, _ -> (None, "analysis crashed")
+        in
+        req_sources :=
+          {
+            Sage_reqs.Extract.src_sentence = report.sentence;
+            src_message = report.message;
+            src_field = report.field;
+            src_role = Some plan.plan_gen_role;
+            src_struct = Option.map Fun.id struct_def;
+            src_lf;
+            src_note;
+          }
+          :: !req_sources;
         items := { Assemble.sentence = report.sentence; placement } :: !items
       in
       (* pseudo-code blocks become standalone procedures (paper §3) *)
@@ -688,6 +715,26 @@ let run_document ?(jobs = 1) ?cache ?metrics ?trace spec ~title ~text =
     diagnostics;
   Trace.close trace analysis4_span
     ~args:[ ("diagnostics", Trace.Int (List.length diagnostics)) ];
+  (* ---- phase 5: requirement mining over sentences + generated IR ---- *)
+  let requirements =
+    Trace.with_span ~cat:"pipeline" trace "phase:reqs" @@ fun () ->
+    timed metrics "reqs" (fun () ->
+        Sage_reqs.Extract.mine ~protocol:spec.protocol
+          ~sources:(List.rev !req_sources) ~funcs:functions ~provenance)
+  in
+  bump ~by:(List.length requirements) metrics "reqs.mined";
+  bump
+    ~by:
+      (List.length
+         (List.filter
+            (fun r -> r.Sage_reqs.Req.rule <> None)
+            requirements))
+    metrics "reqs.compiled";
+  bump
+    ~by:(List.length (List.filter Sage_reqs.Req.checkable requirements))
+    metrics "reqs.checkable";
+  Trace.counter ~cat:"pipeline" trace "requirements"
+    (List.length requirements);
   Trace.counter ~cat:"pipeline" trace "sentences" (Array.length job_array);
   Trace.counter ~cat:"pipeline" trace "functions" (List.length functions);
   Trace.counter ~cat:"pipeline" trace "diagnostics" (List.length diagnostics);
@@ -704,6 +751,7 @@ let run_document ?(jobs = 1) ?cache ?metrics ?trace spec ~title ~text =
         c_code;
       };
     diagnostics;
+    requirements;
     metrics = m;
   }
 

@@ -75,6 +75,11 @@ type run = {
           functions (field coverage, dead code, width/overflow), with
           per-sentence provenance where a finding traces back to a
           specific specification sentence *)
+  requirements : Sage_reqs.Req.t list;
+      (** RFC 2119 requirement sentences mined from the document
+          (RQ001... in document order), compiled to checkable rules
+          where their logical forms lower, and anchored to the
+          generated functions via statement provenance *)
   metrics : Sage_sched.Metrics.t;
       (** stage wall times and counters collected during the run (always
           populated; pass [?metrics] to {!run_document} to accumulate

@@ -63,6 +63,14 @@ let stats run =
          (Sage_sched.Metrics.counter m "chaos.episodes")
          (Sage_sched.Metrics.counter m "chaos.violations")
          chaos_ticks);
+  let reqs_mined = Sage_sched.Metrics.counter m "reqs.mined" in
+  if reqs_mined > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\nrequirements: %d mined, %d compiled to rules, %d checkable\n"
+         reqs_mined
+         (Sage_sched.Metrics.counter m "reqs.compiled")
+         (Sage_sched.Metrics.counter m "reqs.checkable"));
   Buffer.contents buf
 
 let rewrite_worklist run =
@@ -126,6 +134,43 @@ let markdown run =
   Buffer.add_string buf "```\n";
   Buffer.add_string buf (analysis run);
   Buffer.add_string buf "```\n\n";
+  (match run.Pipeline.requirements with
+   | [] -> ()
+   | reqs ->
+     let compiled = List.filter (fun r -> r.Sage_reqs.Req.rule <> None) reqs in
+     let checkable = List.filter Sage_reqs.Req.checkable reqs in
+     Buffer.add_string buf "## Requirements\n\n";
+     Buffer.add_string buf
+       (Printf.sprintf
+          "%d RFC 2119 requirement sentence(s) mined; %d compiled to \
+           executable rules, %d checkable against the generated functions \
+           (enforced by `sage fuzz --check-reqs` and `sage chaos \
+           --check-reqs`).\n\n"
+          (List.length reqs) (List.length compiled) (List.length checkable));
+     List.iter
+       (fun (r : Sage_reqs.Req.t) ->
+         Buffer.add_string buf
+           (Printf.sprintf "- **%s** [%s] %s\n    - %s\n" r.Sage_reqs.Req.id
+              (Sage_reqs.Req.level_name r.Sage_reqs.Req.level)
+              (match r.Sage_reqs.Req.rule with
+               | Some { Sage_reqs.Req.obligation; _ } ->
+                 (match r.Sage_reqs.Req.fns with
+                  | [] ->
+                    Printf.sprintf "%s (no sound anchor%s)"
+                      (Sage_reqs.Req.obligation_name obligation)
+                      (if r.Sage_reqs.Req.note = "" then ""
+                       else ": " ^ r.Sage_reqs.Req.note)
+                  | fns ->
+                    Printf.sprintf "%s on `%s`"
+                      (Sage_reqs.Req.obligation_name obligation)
+                      (String.concat "`, `" fns))
+               | None ->
+                 Printf.sprintf "unchecked%s"
+                   (if r.Sage_reqs.Req.note = "" then ""
+                    else " (" ^ r.Sage_reqs.Req.note ^ ")"))
+              r.Sage_reqs.Req.sentence))
+       reqs;
+     Buffer.add_char buf '\n');
   Buffer.add_string buf "## Generated functions\n\n";
   List.iter
     (fun (f : Ir.func) ->

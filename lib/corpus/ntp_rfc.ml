@@ -78,6 +78,7 @@ let text =
       "";
       "      The leap indicator warns of an impending leap second to be\n\
       \      inserted at the end of the last day of the current month.\n\
+      \      If the status field exceeds 4, the packet MUST be discarded.\n\
       \      If peer.timer expires, the timeout procedure is called.\n\
       \      If peer.mode is symmetric mode or peer.mode is client mode,\n\
       \      the transmit procedure is called and peer.timer is set to\n\

@@ -48,33 +48,39 @@ type result = {
   proved : string list;  (** SA007-proved functions cross-validated *)
   proof_violations : finding list;
       (** never-raise findings on proved functions *)
+  reqs_checked : int;  (** checkable mined requirements enforced *)
 }
 
 let corpus_cap = 32
 
 (* Re-run [packet] and report its violation, if any.  Shrink runs use
    no coverage sink: coverage counts fuzz iterations only. *)
-let violation_of ~protocol ~env ?alt prog packet =
+let violation_of ~protocol ~env ?alt ?(reqs = []) prog packet =
   match Driver.exec ~env prog packet with
   | Error _ -> None
   | Ok outcome ->
     let other = Option.map (fun ap -> Driver.exec ~env ap packet) alt in
-    Oracle.check ~protocol ~packet ?other outcome
+    let req_env =
+      if reqs = [] then None else Some (Driver.backend_env ~env prog packet)
+    in
+    Oracle.check ~protocol ~packet ?other ~reqs ?req_env outcome
 
 let shrink_budget = Shrink.default_budget
 
 (* Greedy descent: take the first simpler candidate that still violates
-   the same oracle; stop when none does (or the budget runs out). *)
-let shrink ~protocol ~env ?alt prog ~kind packet =
+   the same oracle; stop when none does (or the budget runs out).  Kind
+   equality pins requirement findings to their RQ id, so the shrunk
+   witness violates the *same* requirement as the original. *)
+let shrink ~protocol ~env ?alt ?reqs prog ~kind packet =
   Shrink.minimize ~budget:shrink_budget ~candidates:Gen.shrink_candidates
     ~still_failing:(fun c ->
-      match violation_of ~protocol ~env ?alt prog c with
+      match violation_of ~protocol ~env ?alt ?reqs prog c with
       | Some v when v.Oracle.kind = kind -> Some v.Oracle.detail
       | _ -> None)
     packet
 
 let run ?trace ?metrics ?(backend = Backend.Interp) ?differential ?divergence
-    ?(proved = []) ~seed ~iters ~protocol targets =
+    ?(proved = []) ?(reqs = []) ~seed ~iters ~protocol targets =
   let differential =
     match differential with
     | Some d -> d
@@ -91,6 +97,19 @@ let run ?trace ?metrics ?(backend = Backend.Interp) ?differential ?divergence
   let progs =
     Array.map
       (fun (f, layout) -> Backend.load ?divergence backend ~layout f)
+      ntargets
+  in
+  (* requirements pre-filtered per round-robin slot: only checkable
+     rules anchored to this function run, and the hot loop never scans
+     the full requirement list *)
+  let slot_reqs =
+    Array.map
+      (fun ((f : Ir.func), _) ->
+        List.filter
+          (fun r ->
+            Sage_reqs.Req.checkable r
+            && List.mem f.Ir.fn_name r.Sage_reqs.Req.fns)
+          reqs)
       ntargets
   in
   (* per-function corpora, indexed by round-robin slot: the hot loop
@@ -153,12 +172,17 @@ let run ?trace ?metrics ?(backend = Backend.Interp) ?differential ?divergence
             (fun aps -> Driver.exec ~env aps.(slot) packet)
             alts
         in
-        match Oracle.check ~protocol ~packet ?other outcome with
+        let reqs = slot_reqs.(slot) in
+        let req_env =
+          if reqs = [] then None
+          else Some (Driver.backend_env ~env prog packet)
+        in
+        match Oracle.check ~protocol ~packet ?other ~reqs ?req_env outcome with
         | None -> ()
         | Some v ->
           let alt = Option.map (fun aps -> aps.(slot)) alts in
           let shrunk, shrunk_detail, shrink_steps =
-            shrink ~protocol ~env ?alt prog ~kind:v.Oracle.kind packet
+            shrink ~protocol ~env ?alt ~reqs prog ~kind:v.Oracle.kind packet
           in
           let detail =
             match shrunk_detail with
@@ -231,6 +255,12 @@ let run ?trace ?metrics ?(backend = Backend.Interp) ?differential ?divergence
     funcs;
     proved;
     proof_violations;
+    reqs_checked =
+      (let seen = Hashtbl.create 16 in
+       Array.iter
+         (List.iter (fun r -> Hashtbl.replace seen r.Sage_reqs.Req.id ()))
+         slot_reqs;
+       Hashtbl.length seen);
   }
 
 let hex b =
@@ -260,6 +290,10 @@ let summary r =
         (Printf.sprintf "  %-44s %d/%d\n" s.Coverage.fn s.Coverage.fn_covered
            s.Coverage.fn_points))
     (Coverage.stats r.coverage r.funcs);
+  if r.reqs_checked > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "reqs       : %d checkable requirement(s) enforced\n"
+         r.reqs_checked);
   if r.proved <> [] then begin
     Buffer.add_string buf
       (Printf.sprintf "proved     : %d function(s) SA007-proved\n"

@@ -26,6 +26,8 @@ type result = {
   proof_violations : finding list;
       (** never-raise findings on proved functions — a static-proof
           unsoundness, never an acceptable outcome *)
+  reqs_checked : int;
+      (** checkable mined requirements enforced by this run *)
 }
 
 val run :
@@ -35,6 +37,7 @@ val run :
   ?differential:bool ->
   ?divergence:string ->
   ?proved:string list ->
+  ?reqs:Sage_reqs.Req.t list ->
   seed:int ->
   iters:int ->
   protocol:string ->
@@ -55,6 +58,10 @@ val run :
     compiled backend deliberately mis-compiles (the seeded
     differential fixture).
 
+    [reqs] are the mined requirements (see {!Sage_reqs.Extract.mine});
+    the checkable ones anchored to a target function are enforced as
+    the last oracle on every checked iteration of that function.
+
     Emits [fuzz-iteration] spans, [coverage-hit] / [finding] instants
     and a coverage counter to [trace]; bumps [fuzz.*] counters on
     [metrics]. *)
@@ -63,6 +70,7 @@ val shrink :
   protocol:string ->
   env:Driver.env ->
   ?alt:Sage_backend.Backend.loaded ->
+  ?reqs:Sage_reqs.Req.t list ->
   Sage_backend.Backend.loaded ->
   kind:Oracle.kind ->
   bytes ->

@@ -23,12 +23,18 @@
      interoperable interpretation of the paper's §2.1 ambiguity).
    - Verified_output: a produced ICMP message the reference decoder
      accepts must also pass its checksum verification (the generated
-     sender must not emit near-valid-but-corrupt messages). *)
+     sender must not emit near-valid-but-corrupt messages).
+   - Requirement: an RFC 2119 requirement mined from the specification
+     (lib/reqs) whose guard holds on this input must see its obligation
+     met by the outcome.  Runs last so the structural oracles keep
+     their verdicts; the kind carries the RQ id so shrinking pins the
+     specific requirement, not just "some requirement". *)
 
 module Checksum = Sage_net.Checksum
 module Observe = Sage_net.Observe
 module Icmp = Sage_net.Icmp
 module Backend = Sage_backend.Backend
+module Req = Sage_reqs.Req
 
 type kind =
   | Never_raise
@@ -37,6 +43,7 @@ type kind =
   | Backend_agreement
   | Checksum
   | Verified_output
+  | Requirement of string
 
 let kind_name = function
   | Never_raise -> "never-raise"
@@ -45,6 +52,7 @@ let kind_name = function
   | Backend_agreement -> "backend-agreement"
   | Checksum -> "checksum"
   | Verified_output -> "verified-output"
+  | Requirement id -> "requirement " ^ id
 
 type violation = { kind : kind; detail : string }
 
@@ -152,7 +160,16 @@ let check_verified_output ~protocol (o : Backend.outcome) =
           }
   else None
 
-let check ~protocol ~packet ?other (o : Backend.outcome) =
+let check_requirements ~reqs ~req_env (o : Backend.outcome) =
+  match (reqs, req_env) with
+  | [], _ | _, None -> None
+  | reqs, Some env ->
+    (match Req.first_violation ~env ~o reqs with
+     | Some (r, detail) -> Some { kind = Requirement r.Req.id; detail }
+     | None -> None)
+
+let check ~protocol ~packet ?other ?(reqs = []) ?req_env
+    (o : Backend.outcome) =
   match check_never_raise o with
   | Some v -> Some v
   | None -> (
@@ -167,4 +184,7 @@ let check ~protocol ~packet ?other (o : Backend.outcome) =
         | None -> (
           match check_checksum ~protocol o with
           | Some v -> Some v
-          | None -> check_verified_output ~protocol o))))
+          | None -> (
+            match check_verified_output ~protocol o with
+            | Some v -> Some v
+            | None -> check_requirements ~reqs ~req_env o)))))

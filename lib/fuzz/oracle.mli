@@ -13,6 +13,9 @@ type kind =
   | Checksum  (** produced message verifies (whole-message range) *)
   | Verified_output
       (** decodable ICMP output also passes checksum verification *)
+  | Requirement of string
+      (** a mined RFC 2119 requirement (carries the RQ id, so shrinking
+          pins the specific requirement) *)
 
 val kind_name : kind -> string
 
@@ -22,9 +25,13 @@ val check :
   protocol:string ->
   packet:bytes ->
   ?other:(Sage_backend.Backend.outcome, string) result ->
+  ?reqs:Sage_reqs.Req.t list ->
+  ?req_env:Sage_backend.Backend.env ->
   Sage_backend.Backend.outcome ->
   violation option
 (** First violated oracle for this execution, if any.  [protocol] is
     the uppercase spec name ("ICMP", "BFD", ...).  [other], when
     given, is the same (packet, environment) executed on the alternate
-    backend — the differential arm of the suite. *)
+    backend — the differential arm of the suite.  [reqs] (with
+    [req_env], the backend environment the outcome ran under) enables
+    the requirement oracle, checked last. *)

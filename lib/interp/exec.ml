@@ -181,6 +181,7 @@ and eval_call rt fn args =
   | "select_session", [ key ] ->
     let k = Rt.int_of_value (eval_expr rt key) in
     rt.Rt.selected_session <- Some k;
+    rt.Rt.called <- "select_session" :: rt.Rt.called;
     Rt.VInt (if k = Rt.state_get rt "bfd.LocalDiscr" then 1L else 0L)
   | "encapsulate_udp", [ port ] ->
     let p = Rt.int_of_value (eval_expr rt port) in

@@ -1,0 +1,144 @@
+(* Lowering a requirement sentence's logical form to a checkable
+   [Req.rule].  Mirrors the shapes [Generate.gen_sentence] handles —
+   the same winnowed LF the pipeline already compiled to IR — but
+   instead of emitting statements it extracts (guard, obligation):
+
+     @If(cond, @Must(@Discard _))        -> guard  => must-discard
+     @If(cond, @Must(@Not(... @Send)))   -> guard  => must-not-send
+     @If(cond, @Must(... @Send ...))     -> guard ∧ ¬discard => must-send
+     @If(cond, @Must(@Select _))         -> guard ∧ ¬discard => must-call
+     @If(cond, @Must(@Action("cease",v))) -> guard ∧ ¬discard => state v = 0
+     @AdvBefore(@Compute(checksum), _)   -> checksum-valid (no guard)
+
+   A shape outside this grammar — or a guard that does not lower to a
+   closed expression over input fields / initial state / parameters —
+   is an honest [Error]: the requirement stays mined-but-unchecked. *)
+
+module Lf = Sage_logic.Lf
+module Ir = Sage_codegen.Ir
+module Context = Sage_codegen.Context
+module Generate = Sage_codegen.Generate
+
+let ( let* ) = Result.bind
+
+(* A guard is only usable if every leaf is evaluable against the
+   initial environment: no framework calls (session lookups), no
+   request-view reads, no strings. *)
+let rec closed_guard = function
+  | Ir.Int _ | Ir.Field _ | Ir.Param _ -> true
+  | Ir.Str _ | Ir.Call _ | Ir.Request_field _ -> false
+  | Ir.Not a -> closed_guard a
+  | Ir.Cmp (_, a, b) | Ir.And (a, b) | Ir.Or (a, b) ->
+    closed_guard a && closed_guard b
+
+let rec mentions pred lf =
+  match lf with
+  | Lf.Pred (p, args) -> p = pred || List.exists (mentions pred) args
+  | Lf.Term _ | Lf.Num _ | Lf.Str _ | Lf.Var _ -> false
+
+let strip_modal = function
+  | Lf.Pred (p, [ body ]) when p = Lf.p_must -> Some body
+  | _ -> None
+
+(* The body of a requirement, already stripped of @Must. *)
+let rec obligation_of ctx body : (Req.obligation, string) result =
+  match body with
+  | Lf.Pred (p, [ _ ]) when p = Lf.p_discard -> Ok Req.Must_discard
+  | Lf.Pred (p, [ inner ]) when p = Lf.p_not ->
+    if mentions Lf.p_send inner then Ok Req.Must_not_send
+    else Error "negated obligation is not a transmission"
+  | Lf.Pred (p, [ _; _; _ ]) when p = Lf.p_send -> Ok Req.Must_send
+  | Lf.Pred (p, [ _; _ ]) when p = Lf.p_select ->
+    Ok (Req.Must_call "select_session")
+  | Lf.Pred (p, Lf.Str "cease" :: args) when p = Lf.p_action ->
+    (* "MUST cease the transmission of X": the generated handler clears
+       the corresponding periodic-transmission state variable *)
+    let var =
+      List.find_map
+        (fun a ->
+          List.find_map
+            (fun leaf ->
+              match leaf with
+              | Lf.Term t ->
+                (match Context.resolve ctx t with
+                 | Some (Context.State_var v) -> Some v
+                 | _ -> None)
+              | _ -> None)
+            (Lf.leaves a))
+        args
+    in
+    (match var with
+     | Some v -> Ok (Req.Must_clear_state v)
+     | None -> Error "cease target resolves to no state variable")
+  | Lf.Pred (p, [ a; b ]) when p = Lf.p_and || p = Lf.p_seq ->
+    (match obligation_of ctx a with
+     | Ok o -> Ok o
+     | Error _ -> obligation_of ctx b)
+  | _ ->
+    if mentions Lf.p_send body then Ok Req.Must_send
+    else Error "obligation shape not supported"
+
+(* Same subject co-reference [Generate.gen_sentence] applies inside
+   @If: "If the X field is nonzero, it MUST ..." — the condition's
+   field becomes the body's referent. *)
+let body_context ctx cond =
+  let field_resolves =
+    match ctx.Context.field with
+    | Some f -> Context.resolve ctx f <> None
+    | None -> false
+  in
+  if field_resolves then ctx
+  else
+    let subject =
+      List.find_map
+        (fun leaf ->
+          match leaf with
+          | Lf.Term t ->
+            (match Context.resolve ctx t with
+             | Some (Context.Proto_field _) -> Some t
+             | _ -> None)
+          | _ -> None)
+        (Lf.leaves cond)
+    in
+    { ctx with Context.field = subject }
+
+let rec rule_of_lf ctx lf : (Req.rule, string) result =
+  match lf with
+  | Lf.Pred (p, [ cond; body ]) when p = Lf.p_if ->
+    let* body' =
+      match strip_modal body with
+      | Some b -> Ok b
+      | None ->
+        if mentions Lf.p_must body then
+          Error "modal nested deeper than the @If body"
+        else Error "no modal obligation under @If"
+    in
+    let* obligation = obligation_of (body_context ctx cond) body' in
+    let* guard = Generate.expr_of_lf ctx cond in
+    if closed_guard guard then Ok { Req.guard = Some guard; obligation }
+    else Error "guard is not a closed input predicate"
+  | Lf.Pred (p, [ context_ev; _body ]) when p = Lf.p_adv_before ->
+    (match context_ev with
+     | Lf.Pred (q, [ x ]) when q = Lf.p_compute ->
+       let is_checksum =
+         List.exists
+           (function
+             | Lf.Term t ->
+               let t = String.lowercase_ascii t in
+               t = "checksum" || t = "the checksum"
+             | _ -> false)
+           (Lf.leaves x)
+       in
+       if is_checksum then
+         Ok { Req.guard = None; obligation = Req.Checksum_valid }
+       else Error "advice computation is not the checksum"
+     | _ -> Error "advice context is not a computation")
+  | Lf.Pred (p, [ body ]) when p = Lf.p_must ->
+    let* obligation = obligation_of ctx body in
+    Ok { Req.guard = None; obligation }
+  | Lf.Pred ("@Goal", [ _goal; body ]) -> rule_of_lf ctx body
+  | Lf.Pred (p, [ a; b ]) when p = Lf.p_and || p = Lf.p_seq ->
+    (match rule_of_lf ctx a with
+     | Ok r -> Ok r
+     | Error _ -> rule_of_lf ctx b)
+  | _ -> Error "sentence shape carries no requirement obligation"

@@ -1,0 +1,11 @@
+(** Lowering a requirement sentence's winnowed logical form to a
+    checkable rule — the same LF shapes [Generate.gen_sentence]
+    compiles to IR, read as (guard, obligation) instead. *)
+
+val rule_of_lf :
+  Sage_codegen.Context.dynamic ->
+  Sage_logic.Lf.t ->
+  (Req.rule, string) result
+(** [Error reason] when the shape carries no supported obligation or
+    the guard is not a closed predicate over input fields, initial
+    state and environment parameters. *)

@@ -1,0 +1,169 @@
+(* Requirement mining: find the RFC 2119 sentences in a corpus run,
+   compile their logical forms into checkable rules, and anchor each
+   requirement to the generated functions it constrains.
+
+   Anchoring uses the pipeline's statement provenance (statement →
+   source sentence, structural equality) — the same mapping static
+   analysis uses — so a requirement attaches to exactly the functions
+   that contain code generated from its sentence.  A non-actionable
+   requirement sentence anchors to the functions carrying its comment.
+
+   Checkable anchors are then filtered for soundness: a function that
+   itself assigns a location the rule's guard reads (a sender fixing
+   `version := 4` ahead of its own `version != 4` discard check) is
+   excluded, because the guard evaluates against pristine input while
+   the generated check sees the mutated value. *)
+
+module Lf = Sage_logic.Lf
+module Ir = Sage_codegen.Ir
+module Hd = Sage_rfc.Header_diagram
+module Context = Sage_codegen.Context
+
+(* One analysed sentence, as the pipeline saw it: enough context to
+   rebuild the codegen-time [Context.dynamic] without depending on the
+   pipeline's own types. *)
+type source = {
+  src_sentence : string;
+  src_message : string option;
+  src_field : string option;
+  src_role : Ir.role option;
+  src_struct : Hd.t option;
+  src_lf : Lf.t option;  (** the winnowed LF, when the sentence parsed *)
+  src_note : string;  (** pipeline status when no LF is available *)
+}
+
+(* RFC 2119 keyword detection: a requirement level iff the sentence
+   contains MUST / MUST NOT / SHALL / SHOULD as a standalone word.
+   Detection is textual because the lexicon folds every requirement
+   modal into @Must — the sentence is the only place the level
+   survives. *)
+let requirement_level sentence =
+  let s = String.lowercase_ascii sentence in
+  let has_word w =
+    let lw = String.length w and ls = String.length s in
+    let boundary c =
+      not ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+    in
+    let rec scan i =
+      if i + lw > ls then false
+      else if
+        String.sub s i lw = w
+        && (i = 0 || boundary s.[i - 1])
+        && (i + lw = ls || boundary s.[i + lw])
+      then true
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  if has_word "must not" || has_word "shall not" then Some Req.Must_not
+  else if has_word "must" || has_word "shall" then Some Req.Must
+  else if has_word "should" then Some Req.Should
+  else None
+
+(* Structural containment: does [fn]'s body hold [stmt] at any depth? *)
+let fn_contains fn stmt =
+  Ir.fold_stmts
+    (fun found s -> found || Ir.equal_stmt s stmt)
+    false fn.Ir.body
+
+let anchored_fns ~funcs ~provenance sentence =
+  let stmts =
+    List.filter_map
+      (fun (s, sent) -> if String.equal sent sentence then Some s else None)
+      provenance
+  in
+  let stmts =
+    (* non-actionable sentences surface as comments carrying their text *)
+    if stmts = [] then [ Ir.Comment sentence ] else stmts
+  in
+  List.filter_map
+    (fun fn ->
+      if List.exists (fn_contains fn) stmts then Some fn.Ir.fn_name else None)
+    funcs
+
+(* Every Field/Param location a guard reads. *)
+let rec guard_reads acc = function
+  | Ir.Int _ | Ir.Str _ | Ir.Param _ -> acc
+  | Ir.Field (l, f) | Ir.Request_field (l, f) ->
+    if List.mem (l, f) acc then acc else (l, f) :: acc
+  | Ir.Call (_, args) -> List.fold_left guard_reads acc args
+  | Ir.Not a -> guard_reads acc a
+  | Ir.Cmp (_, a, b) | Ir.And (a, b) | Ir.Or (a, b) ->
+    guard_reads (guard_reads acc a) b
+
+(* Exclude anchors whose own writes invalidate the guard's
+   initial-value reading. *)
+let sound_anchor ~funcs ~(rule : Req.rule) fn_name =
+  match List.find_opt (fun f -> f.Ir.fn_name = fn_name) funcs with
+  | None -> false
+  | Some fn ->
+    let reads =
+      match rule.Req.guard with Some g -> guard_reads [] g | None -> []
+    in
+    let writes = Ir.assigned_fields fn.Ir.body in
+    not (List.exists (fun loc -> List.mem loc writes) reads)
+
+let checksum_anchors ~funcs =
+  List.filter_map
+    (fun fn ->
+      if List.mem (Ir.Proto, "checksum") (Ir.assigned_fields fn.Ir.body) then
+        Some fn.Ir.fn_name
+      else None)
+    funcs
+
+let mine ~protocol ~(sources : source list) ~(funcs : Ir.func list)
+    ~(provenance : (Ir.stmt * string) list) : Req.t list =
+  let counter = ref 0 in
+  List.filter_map
+    (fun src ->
+      match requirement_level src.src_sentence with
+      | None -> None
+      | Some level ->
+        incr counter;
+        let id = Printf.sprintf "RQ%03d" !counter in
+        let anchors =
+          anchored_fns ~funcs ~provenance src.src_sentence
+        in
+        let rule, fns, note =
+          match src.src_lf with
+          | None -> (None, anchors, src.src_note)
+          | Some lf ->
+            let ctx =
+              Context.dynamic ?field:src.src_field ?role:src.src_role
+                ?struct_def:src.src_struct ~protocol
+                ~message:(Option.value ~default:protocol src.src_message)
+                ()
+            in
+            (match Compile.rule_of_lf ctx lf with
+             | Error reason -> (None, anchors, reason)
+             | Ok rule ->
+               let fns =
+                 match rule.Req.obligation with
+                 | Req.Checksum_valid -> checksum_anchors ~funcs
+                 | _ -> anchors
+               in
+               let sound, excluded =
+                 List.partition (sound_anchor ~funcs ~rule) fns
+               in
+               let note =
+                 match excluded with
+                 | [] -> ""
+                 | ex ->
+                   Printf.sprintf "excluded %s: assigns guard input"
+                     (String.concat ", " ex)
+               in
+               (Some rule, sound, note))
+        in
+        Some
+          {
+            Req.id;
+            protocol;
+            sentence = src.src_sentence;
+            message = src.src_message;
+            field = src.src_field;
+            level;
+            fns;
+            rule;
+            note;
+          })
+    sources

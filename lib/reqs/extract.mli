@@ -1,0 +1,27 @@
+(** Requirement mining over an analysed corpus document: RFC 2119
+    sentence detection, rule compilation, and provenance-based
+    anchoring to the generated functions. *)
+
+type source = {
+  src_sentence : string;
+  src_message : string option;
+  src_field : string option;
+  src_role : Sage_codegen.Ir.role option;
+  src_struct : Sage_rfc.Header_diagram.t option;
+  src_lf : Sage_logic.Lf.t option;
+      (** the winnowed LF, when the sentence parsed *)
+  src_note : string;  (** pipeline status when no LF is available *)
+}
+
+val requirement_level : string -> Req.level option
+(** [Some _] iff the sentence contains MUST / MUST NOT / SHALL / SHOULD
+    as a standalone word (case-insensitive). *)
+
+val mine :
+  protocol:string ->
+  sources:source list ->
+  funcs:Sage_codegen.Ir.func list ->
+  provenance:(Sage_codegen.Ir.stmt * string) list ->
+  Req.t list
+(** Requirements in document order with ids RQ001...; deterministic for
+    a given run. *)

@@ -1,0 +1,66 @@
+(** Executable requirements mined from RFC 2119 sentences: a stable id,
+    the source sentence, and — when its logical form lowers to an
+    observable shape — a guard over the input plus an obligation over
+    the execution outcome (ROADMAP open item 5). *)
+
+module Ir = Sage_codegen.Ir
+module Backend = Sage_backend.Backend
+
+type level = Must | Must_not | Should
+
+val level_name : level -> string
+
+type obligation =
+  | Must_discard  (** guard ⇒ the function discards *)
+  | Must_not_send  (** guard ⇒ discarded or nothing was sent *)
+  | Must_send  (** guard ∧ not discarded ⇒ at least one send *)
+  | Must_call of string  (** guard ∧ not discarded ⇒ procedure invoked *)
+  | Must_clear_state of string
+      (** guard ∧ not discarded ⇒ final state variable is zero *)
+  | Checksum_valid
+      (** not discarded ∧ assigns checksum ⇒ output verifies *)
+
+val obligation_name : obligation -> string
+
+type rule = { guard : Ir.expr option; obligation : obligation }
+
+type t = {
+  id : string;  (** RQ001... — stable, document order *)
+  protocol : string;
+  sentence : string;
+  message : string option;
+  field : string option;
+  level : level;
+  fns : string list;  (** generated functions the check applies to *)
+  rule : rule option;  (** [None]: mined but not checkable *)
+  note : string;
+}
+
+val checkable : t -> bool
+(** A rule compiled and at least one sound anchor function remains. *)
+
+val eval_expr :
+  env:Backend.env ->
+  o:Backend.outcome ->
+  Ir.expr ->
+  (int64, string) result
+(** Evaluate a guard expression against the initial environment and the
+    pristine parsed input view (exposed for tests). *)
+
+val check : env:Backend.env -> o:Backend.outcome -> t -> string option
+(** [Some detail] iff this execution violates the requirement.  Skips
+    (returns [None]) when the guard cannot be evaluated, when the
+    outcome is a runtime error (the never-raise oracle's finding), or
+    when the rule is absent. *)
+
+val first_violation :
+  env:Backend.env ->
+  o:Backend.outcome ->
+  t list ->
+  (t * string) option
+(** First violated requirement in id order — one deterministic verdict
+    per (function, packet, env). *)
+
+val whole_message_checksum : string list
+
+val pp : Format.formatter -> t -> unit

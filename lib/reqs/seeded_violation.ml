@@ -1,0 +1,38 @@
+(* A deterministic seeded requirement violation for exercising the
+   requirement oracle end-to-end: take the generated IR and delete the
+   guarded [Discard] statements from one function, so a mined
+   "... MUST be discarded" requirement is provably violated.  The
+   guards stay in place — only the discard behavior disappears — which
+   leaves every other oracle satisfied: the function still never
+   raises, round-trips, and agrees across backends (both backends load
+   the same tampered IR).  The fixture asserts exactly one finding
+   comes back, of kind Requirement, carrying the RQ id and sentence. *)
+
+module Ir = Sage_codegen.Ir
+
+let default_protocol = "bfd"
+let default_target = "bfd_reception_of_bfd_control_packets_sender"
+
+let rec drop_guarded_discards stmts =
+  List.map
+    (fun stmt ->
+      match stmt with
+      | Ir.If (c, then_, else_) ->
+        Ir.If
+          ( c,
+            List.filter
+              (fun s -> s <> Ir.Discard)
+              (drop_guarded_discards then_),
+            List.filter
+              (fun s -> s <> Ir.Discard)
+              (drop_guarded_discards else_) )
+      | s -> s)
+    stmts
+
+let tamper_discards ~fn funcs =
+  List.map
+    (fun (f : Ir.func) ->
+      if f.Ir.fn_name = fn then
+        { f with Ir.body = drop_guarded_discards f.Ir.body }
+      else f)
+    funcs

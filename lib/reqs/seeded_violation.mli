@@ -1,0 +1,15 @@
+(** Deterministic mutated-IR fixture: delete the guarded [Discard]
+    statements from one function so a mined "MUST be discarded"
+    requirement is provably violated, while every other oracle stays
+    satisfied. *)
+
+val default_protocol : string
+(** ["bfd"]. *)
+
+val default_target : string
+(** ["bfd_reception_of_bfd_control_packets_sender"]. *)
+
+val tamper_discards :
+  fn:string -> Sage_codegen.Ir.func list -> Sage_codegen.Ir.func list
+(** Remove [Discard] statements from every [If] branch in [fn]; all
+    other functions unchanged. *)

@@ -11,10 +11,17 @@ module Addr = Sage_net.Addr
 module Ipv4 = Sage_net.Ipv4
 module Backend = Sage_backend.Backend
 
+type observer =
+  fn:string -> env:Backend.env -> Backend.outcome -> unit
+
 type t = {
   run : Sage.Pipeline.run;
   trace : Sage_trace.Trace.t option;
   backend : Backend.choice;
+  observer : observer option;
+      (* called after every structurally-accepted execution, with the
+         environment it ran under — the chaos campaign's hook for
+         runtime requirement assertions *)
   progs : (string, Backend.loaded) Hashtbl.t;
       (* programs load once per function: field resolution (and, for
          the compiled backend, closure compilation) is not a
@@ -23,8 +30,8 @@ type t = {
 
 type env_value = Rt.value
 
-let of_run ?trace ?(backend = Backend.Interp) run =
-  { run; trace; backend; progs = Hashtbl.create 16 }
+let of_run ?trace ?(backend = Backend.Interp) ?observer run =
+  { run; trace; backend; observer; progs = Hashtbl.create 16 }
 
 let backend t = t.backend
 let functions t = t.run.Sage.Pipeline.codegen.Sage.Pipeline.functions
@@ -69,6 +76,9 @@ let exec t (l : Backend.loaded) ~env packet =
   match l.Backend.exec ?trace:t.trace ~env packet with
   | Error e -> Error e
   | Ok o ->
+    (match t.observer with
+     | Some f -> f ~fn:l.Backend.func.Sage_codegen.Ir.fn_name ~env o
+     | None -> ());
     (match o.Backend.error with Some e -> Error e | None -> Ok o)
 
 (* The static framework's IP layer: wrap the produced message using the

@@ -8,16 +8,28 @@
 
 type t
 
+type observer =
+  fn:string ->
+  env:Sage_backend.Backend.env ->
+  Sage_backend.Backend.outcome ->
+  unit
+(** Called after every structurally-accepted execution of a generated
+    function, with the backend environment it ran under and its full
+    outcome (including discarded or errored executions).  The chaos
+    campaign uses this to assert mined RFC requirements at runtime. *)
+
 val of_run :
   ?trace:Sage_trace.Trace.t ->
   ?backend:Sage_backend.Backend.choice ->
+  ?observer:observer ->
   Sage.Pipeline.run ->
   t
 (** [trace] is handed to every execution this stack performs, so
     generated functions emit [exec:<fn>] spans and send/discard
     instants regardless of backend.  [backend] selects the execution
     backend (default: the tree-walk interpreter); programs are loaded
-    once per function and cached. *)
+    once per function and cached.  [observer], when given, sees every
+    execution (see {!observer}). *)
 
 val backend : t -> Sage_backend.Backend.choice
 

@@ -221,19 +221,55 @@ let minimize arb prop x reason =
   in
   go x reason 0
 
-let run_prop ?(count = 200) ?(seed = default_seed) name arb prop () =
+(* A falsified property, fully described: what failed, on which draw,
+   how far the shrinker got, and how to replay the exact run. *)
+type failure = {
+  case_index : int;  (** 1-based draw that first falsified *)
+  case_count : int;
+  seed : int;
+  counterexample : string;  (** printed, after shrinking *)
+  reason : string;
+  shrink_steps : int;
+}
+
+let failure_message name f =
+  Printf.sprintf
+    "property %S falsified (case %d/%d, seed %d):\n\
+    \  counterexample: %s\n\
+    \  %s\n\
+    \  shrink steps: %d\n\
+    \  repro: re-run this property with --seed %d" name f.case_index
+    f.case_count f.seed f.counterexample f.reason f.shrink_steps f.seed
+
+(* The runner core, returning the first failure instead of raising — so
+   the reporting path itself is unit-testable (test_misc pins the
+   message down against a deliberately failing property). *)
+let find_failure ?(count = 200) ?(seed = default_seed) arb prop =
   let r = rand_of_seed seed in
-  for i = 1 to count do
-    let x = arb.gen r in
-    match eval prop x with
-    | None -> ()
-    | Some reason ->
-      let x', reason', steps = minimize arb prop x reason in
-      Alcotest.failf
-        "property %S falsified (case %d/%d, seed %d):@\n  %s@\n  %s%s" name i
-        count seed (arb.print x') reason'
-        (if steps > 0 then Printf.sprintf "\n  (%d shrink steps)" steps else "")
-  done
+  let rec go i =
+    if i > count then None
+    else
+      let x = arb.gen r in
+      match eval prop x with
+      | None -> go (i + 1)
+      | Some reason ->
+        let x', reason', steps = minimize arb prop x reason in
+        Some
+          {
+            case_index = i;
+            case_count = count;
+            seed;
+            counterexample = arb.print x';
+            reason = reason';
+            shrink_steps = steps;
+          }
+  in
+  go 1
+
+let run_prop ?count ?seed name arb prop () =
+  match find_failure ?count ?seed arb prop with
+  | None -> ()
+  | Some f -> Alcotest.fail (failure_message name f)
 
 let test ?count ?seed name arb prop =
   Alcotest.test_case name `Quick (run_prop ?count ?seed name arb prop)

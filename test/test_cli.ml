@@ -1,38 +1,12 @@
 (* CLI argument handling, exercised against the real binary: usage
    errors (unknown flags, malformed values, unknown subcommands) must
    exit 2 with usage text on stderr and never a backtrace, and the
-   fuzz verb must be deterministic and report through exit codes. *)
+   fuzz verb must be deterministic and report through exit codes.
+   Exit codes of the --seeded-* fixtures live in test_seeded_matrix. *)
 
-(* the CLI binary sits next to the test executable in _build/default;
-   resolve it relative to our own path so the suite is cwd-independent *)
-let cli =
-  Filename.concat
-    (Filename.dirname Sys.executable_name)
-    (Filename.concat ".." (Filename.concat "bin" "sage_cli.exe"))
-
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-(* run the binary through /bin/sh, capturing exit code, stdout, stderr *)
-let run_cli args =
-  let out = Filename.temp_file "sage_cli" ".out" in
-  let err = Filename.temp_file "sage_cli" ".err" in
-  let code = Sys.command (Printf.sprintf "%s %s >%s 2>%s" cli args out err) in
-  let stdout = read_file out and stderr = read_file err in
-  Sys.remove out;
-  Sys.remove err;
-  (code, stdout, stderr)
-
-let contains haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec go i =
-    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
-  in
-  nn = 0 || go 0
+let run_cli = Cli_harness.run_cli
+let read_file = Cli_harness.read_file
+let contains = Cli_harness.contains
 
 let checki = Alcotest.check Alcotest.int
 let checkb = Alcotest.check Alcotest.bool
@@ -63,17 +37,6 @@ let test_help_exits_zero () =
   let code, out, _err = run_cli "fuzz --help" in
   checki "help exit 0" 0 code;
   checkb "help describes the verb" true (contains out "fuzz")
-
-let test_fuzz_clean_run () =
-  let code, out, _err = run_cli "fuzz --seed 42 --iters 150" in
-  checki "clean fuzz exits 0" 0 code;
-  checkb "summary on stdout" true (contains out "protocol   : ICMP");
-  checkb "zero findings" true (contains out "findings   : 0")
-
-let test_fuzz_seeded_bug_exit () =
-  let code, out, _err = run_cli "fuzz --seed 42 --iters 300 --seeded-bug" in
-  checki "findings exit 1" 1 code;
-  checkb "one finding reported" true (contains out "findings   : 1")
 
 let test_fuzz_deterministic_across_jobs () =
   let c1, out1, _ = run_cli "fuzz --seed 42 --iters 300" in
@@ -106,17 +69,6 @@ let test_chaos_bad_schedule () =
 let test_chaos_scenario_and_schedule_conflict () =
   expect_usage_error "chaos conflict"
     "chaos --scenario flaky --schedule heal:5"
-
-let test_chaos_clean_run () =
-  let code, out, _err = run_cli "chaos --seed 7 --corpus icmp" in
-  checki "clean chaos exits 0" 0 code;
-  checkb "summary header" true (contains out "chaos campaign: seed 7");
-  checkb "no failures" true (contains out "failed: 0")
-
-let test_chaos_seeded_wedge_exit () =
-  let code, out, _err = run_cli "chaos --seed 7 --corpus icmp --seeded-wedge" in
-  checki "wedge exits 1" 1 code;
-  checkb "shrunk schedule reported" true (contains out "crash:1;heal:48")
 
 let test_chaos_deterministic_across_jobs () =
   let c1, out1, _ = run_cli "chaos --seed 7 --corpus icmp" in
@@ -151,15 +103,6 @@ let test_fuzz_compiled_deterministic () =
   checkb "zero findings" true (contains out1 "findings   : 0");
   Alcotest.check Alcotest.string "byte-identical across runs" out1 out2;
   Alcotest.check Alcotest.string "byte-identical across --jobs" out1 out3
-
-let test_fuzz_seeded_divergence_exit () =
-  let code, out, _err =
-    run_cli "fuzz --seed 42 --iters 300 --seeded-divergence"
-  in
-  checki "divergence exits 1" 1 code;
-  checkb "exactly one finding" true (contains out "findings   : 1");
-  checkb "backend-agreement oracle fired" true
-    (contains out "backend-agreement")
 
 let test_interop_accepts_backend () =
   (* rewritten corpus: the disambiguated spec is the one that passes
@@ -201,19 +144,6 @@ let test_analyze_prove_clean () =
     (contains err "functions proved in-bounds");
   checkb "everything proved" false (contains err "unproved:")
 
-let test_analyze_seeded_wedge_exit () =
-  let code, out, _err = run_cli "analyze -p bfd --seeded-wedge --prove" in
-  checki "wedge fixture exits 1" 1 code;
-  checkb "SA011 reported" true (contains out "SA011");
-  checkb "names the wedge state" true (contains out "wedge")
-
-let test_analyze_seeded_divergence_exit () =
-  let code, out, _err = run_cli "analyze --seeded-divergence --prove" in
-  checki "divergence fixture exits 1" 1 code;
-  checkb "SA012 reported" true (contains out "SA012");
-  checkb "shows the compiled expression" true
-    (contains out "compiles to a different expression")
-
 let test_analyze_fail_on_policies () =
   (* icmp carries warnings but no errors: the two policies must land on
      opposite exit codes over the same findings *)
@@ -248,8 +178,6 @@ let suite =
     Alcotest.test_case "malformed --protocol" `Quick test_malformed_protocol;
     Alcotest.test_case "unknown subcommand" `Quick test_unknown_subcommand;
     Alcotest.test_case "--help exits 0" `Quick test_help_exits_zero;
-    Alcotest.test_case "fuzz: clean run exits 0" `Slow test_fuzz_clean_run;
-    Alcotest.test_case "fuzz: seeded bug exits 1" `Slow test_fuzz_seeded_bug_exit;
     Alcotest.test_case "fuzz: identical across --jobs" `Slow
       test_fuzz_deterministic_across_jobs;
     Alcotest.test_case "fuzz: --coverage-out json" `Slow test_fuzz_coverage_out;
@@ -260,8 +188,6 @@ let suite =
       test_bad_backend_chaos;
     Alcotest.test_case "fuzz: compiled backend reproducible" `Slow
       test_fuzz_compiled_deterministic;
-    Alcotest.test_case "fuzz: seeded divergence exits 1" `Slow
-      test_fuzz_seeded_divergence_exit;
     Alcotest.test_case "interop: accepts --backend compiled" `Slow
       test_interop_accepts_backend;
     Alcotest.test_case "chaos: accepts --backend compiled" `Slow
@@ -276,18 +202,11 @@ let suite =
       test_chaos_bad_schedule;
     Alcotest.test_case "chaos: --scenario conflicts with --schedule" `Quick
       test_chaos_scenario_and_schedule_conflict;
-    Alcotest.test_case "chaos: clean run exits 0" `Slow test_chaos_clean_run;
-    Alcotest.test_case "chaos: seeded wedge exits 1" `Slow
-      test_chaos_seeded_wedge_exit;
     Alcotest.test_case "chaos: identical across --jobs" `Slow
       test_chaos_deterministic_across_jobs;
     Alcotest.test_case "malformed --fail-on" `Quick test_malformed_fail_on;
     Alcotest.test_case "analyze: --prove clean corpus exits 0" `Slow
       test_analyze_prove_clean;
-    Alcotest.test_case "analyze: seeded wedge exits 1" `Slow
-      test_analyze_seeded_wedge_exit;
-    Alcotest.test_case "analyze: seeded divergence exits 1" `Slow
-      test_analyze_seeded_divergence_exit;
     Alcotest.test_case "analyze: --fail-on policies" `Slow
       test_analyze_fail_on_policies;
     Alcotest.test_case "analyze: json identical across --jobs" `Slow

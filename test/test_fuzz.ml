@@ -215,6 +215,75 @@ let test_gen_mutate () =
   let fresh = Gen.mutate r layout Bytes.empty in
   checkb "empty input mutates to a fresh packet" true (Bytes.length fresh > 0)
 
+let test_gen_tail_slicing_refill () =
+  (* the tail generator slices four bytes out of every bits32 draw;
+     replay the stream by hand and check the slices land byte-for-byte,
+     including the refill edge where byte 4 needs a fresh draw *)
+  let layout = echo_layout () in
+  let cl = Sage_backend.Layout.of_layout layout in
+  let fixed = Pv.fixed_bytes layout in
+  let rec find seed tries =
+    if tries = 0 then Alcotest.fail "no packet with a 5+ byte tail found"
+    else
+      let p = Gen.packet (Rng.of_seed seed) layout in
+      if Bytes.length p >= fixed + 5 then (seed, Bytes.length p - fixed)
+      else find (seed + 1) (tries - 1)
+  in
+  let seed, tail_len = find 0 200 in
+  let r = Rng.of_seed seed in
+  Array.iter
+    (fun (f : Sage_backend.Layout.field) ->
+      ignore (Gen.field_value r ~bits:f.Sage_backend.Layout.bits))
+    cl.Sage_backend.Layout.fields;
+  checkb "tail branch taken" true (Rng.int_below r 4 >= 2);
+  checki "tail length replays" tail_len (Rng.range r 1 24);
+  let expect = Bytes.create tail_len in
+  let i = ref 0 in
+  while !i < tail_len do
+    let w = Rng.bits32 r in
+    let stop = min tail_len (!i + 4) in
+    let k = ref 0 in
+    while !i < stop do
+      Bytes.set expect !i (Char.chr ((w lsr (!k * 8)) land 0xff));
+      incr i;
+      incr k
+    done
+  done;
+  let p = Gen.packet (Rng.of_seed seed) layout in
+  check Alcotest.string "tail bytes slice four-per-draw with refill"
+    (Bytes.to_string expect)
+    (Bytes.to_string (Bytes.sub p fixed tail_len))
+
+let test_gen_mutate_single_byte () =
+  (* one-byte packets hit every mutation arm's boundary: field-boundary
+     truncation can only cut at offset 0 (empty result), checksum
+     corruption falls back to the last byte, appends grow *)
+  let layout = echo_layout () in
+  let r = Rng.of_seed 13 in
+  let one = Bytes.make 1 '\xAB' in
+  let saw_empty = ref false and saw_growth = ref false in
+  for _ = 1 to 200 do
+    let m = Gen.mutate r layout one in
+    (match Bytes.length m with
+     | 0 -> saw_empty := true
+     | n when n > 1 -> saw_growth := true
+     | _ -> ());
+    checkb "input untouched" true (Bytes.get one 0 = '\xAB')
+  done;
+  checkb "truncation to empty reachable" true !saw_empty;
+  checkb "tail growth reachable" true !saw_growth
+
+let test_gen_shrink_single_byte () =
+  check
+    Alcotest.(list string)
+    "single zero byte shrinks to empty only" [ "" ]
+    (List.map Bytes.to_string (Gen.shrink_candidates (Bytes.make 1 '\000')));
+  let cands =
+    List.map Bytes.to_string (Gen.shrink_candidates (Bytes.make 1 '\x7f'))
+  in
+  checkb "drop-last offered" true (List.mem "" cands);
+  checkb "zeroing offered" true (List.mem "\000" cands)
+
 let test_gen_shrink_candidates () =
   check Alcotest.(list string) "empty shrinks to nothing" []
     (List.map Bytes.to_string (Gen.shrink_candidates Bytes.empty));
@@ -563,6 +632,8 @@ let suite =
     Alcotest.test_case "rng: limbs match Int64 reference" `Quick
       test_rng_matches_int64_reference;
     Alcotest.test_case "rng: bits32 slices the draw" `Quick test_rng_bits32;
+    Alcotest.test_case "gen: tail slicing and refill edge" `Quick
+      test_gen_tail_slicing_refill;
     Alcotest.test_case "rng: split streams" `Quick test_rng_split;
     Alcotest.test_case "rng: shared with qcheck_lite" `Quick
       test_qcheck_lite_shares_rng;
@@ -572,6 +643,10 @@ let suite =
     Alcotest.test_case "gen: field boundaries" `Quick test_gen_field_boundaries;
     Alcotest.test_case "gen: checksum byte" `Quick test_gen_checksum_byte;
     Alcotest.test_case "gen: mutants are fresh" `Quick test_gen_mutate;
+    Alcotest.test_case "gen: one-byte mutation boundaries" `Quick
+      test_gen_mutate_single_byte;
+    Alcotest.test_case "gen: one-byte shrink ladder" `Quick
+      test_gen_shrink_single_byte;
     Alcotest.test_case "gen: shrink candidates" `Quick
       test_gen_shrink_candidates;
     Alcotest.test_case "ir: pre-order statement ids" `Quick test_numbered_stmts;

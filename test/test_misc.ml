@@ -205,9 +205,43 @@ let prop_sentences_cover_words =
       let via_sentences = List.concat_map Tok.words (Tok.sentences s) in
       direct = via_sentences)
 
+(* ---- qcheck_lite failure reporting ---- *)
+
+(* A deliberately failing property: the harness must surface the seed,
+   the shrunk counterexample, the shrink-step count and a one-line
+   --seed repro hint — the whole debugging loop in one message. *)
+let test_qcheck_failure_report () =
+  match
+    Qcheck_lite.find_failure ~count:50 ~seed:2024 Qcheck_lite.small_nat
+      (fun n -> n < 50)
+  with
+  | None -> Alcotest.fail "n < 50 over [0,100] should falsify"
+  | Some f ->
+    check Alcotest.int "seed recorded" 2024 f.Qcheck_lite.seed;
+    check Alcotest.int "count recorded" 50 f.Qcheck_lite.case_count;
+    check Alcotest.string "shrunk to the boundary" "50"
+      f.Qcheck_lite.counterexample;
+    let msg = Qcheck_lite.failure_message "n < 50" f in
+    check Alcotest.bool "names the property" true
+      (contains msg "\"n < 50\" falsified");
+    check Alcotest.bool "shows the counterexample" true
+      (contains msg "counterexample: 50");
+    check Alcotest.bool "shows the shrink-step count" true
+      (contains msg "shrink steps:");
+    check Alcotest.bool "one-line repro hint" true
+      (contains msg "--seed 2024")
+
+let test_qcheck_passing_property_silent () =
+  check Alcotest.bool "no failure for a tautology" true
+    (Qcheck_lite.find_failure ~count:50 Qcheck_lite.small_nat (fun n ->
+         n >= 0)
+     = None)
+
 let suite =
   [
     tc "report summary" test_report_summary;
+    tc "qcheck_lite failure report" test_qcheck_failure_report;
+    tc "qcheck_lite passing property" test_qcheck_passing_property_silent;
     tc "report rewrite worklist" test_report_worklist;
     tc "report markdown" test_report_markdown;
     tc "semantic composition" test_sem_composition;

@@ -28,8 +28,10 @@ let () =
       ("trace", Test_trace.suite);
       ("golden-snapshots", Test_golden_snapshots.suite);
       ("fuzz", Test_fuzz.suite);
+      ("reqs", Test_reqs.suite);
       ("backend", Test_backend.suite);
       ("chaos", Test_chaos.suite);
       ("cli", Test_cli.suite);
+      ("seeded-matrix", Test_seeded_matrix.suite);
       ("stateful", Test_stateful.suite);
     ]
