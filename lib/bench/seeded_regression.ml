@@ -1,0 +1,27 @@
+(* The planted regression: `sage bench --check --seeded-regression`
+   multiplies one measured key by [factor] before the Regress gate
+   runs, so tests and the CI self-check can assert that a genuine 3x
+   slowdown exits 1 with the offending key named — without depending
+   on real machine noise.  Mirrors the other `--seeded-*` fixtures
+   (fuzz bug, chaos wedge, backend divergence, reqs violation). *)
+
+let factor = 3.0
+let default_target = "winnow"
+
+let tamper ?(key = default_target) current =
+  let slow (s : History.sample) =
+    { s with History.ns = s.History.ns *. factor }
+  in
+  if List.mem_assoc key current then
+    List.map (fun (k, s) -> if k = key then (k, slow s) else (k, s)) current
+  else
+    (* the filtered run may not include the default target: slow the
+       first measured key instead so the fixture still bites *)
+    match current with
+    | [] -> []
+    | (k, s) :: rest -> (k, slow s) :: rest
+
+(* the key the tamper actually hit, for assertions/messages *)
+let tampered_key ?(key = default_target) current =
+  if List.mem_assoc key current then Some key
+  else match current with [] -> None | (k, _) :: _ -> Some k

@@ -1,0 +1,53 @@
+(* BENCH_pipeline.json: the flat latest-numbers snapshot, promoted out
+   of bench/main.ml so the bench harness, the `sage bench` verb and the
+   tests share one loader and one atomic merge-on-flush writer.
+
+   The file is a flat {"name": ns, ...} object, one entry per line, as
+   written by [flush]; any line that doesn't scan as such an entry is
+   ignored, so a torn tail (interrupted writer under the old
+   open_out-in-place scheme) degrades to fewer entries, never a crash. *)
+
+let default_file = "BENCH_pipeline.json"
+
+let load file =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in file in
+    let entries = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         (try
+            Scanf.sscanf (String.trim line) "%S : %f" (fun name ns ->
+                entries := (name, ns) :: !entries)
+          with Scanf.Scan_failure _ | Failure _ | End_of_file -> ())
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  end
+
+let to_string entries =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\": %.1f%s\n" name ns
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Merge-on-flush: fresh entries win over the on-disk baseline for the
+   same key, everything else is carried; sorted so the file diffs
+   cleanly whatever order targets recorded in.  The write is atomic
+   (temp + rename), so an interrupted run cannot leave a partially
+   written file.  Returns the merged entries as written. *)
+let flush ~file fresh =
+  let carried =
+    List.filter (fun (name, _) -> not (List.mem_assoc name fresh)) (load file)
+  in
+  let entries = List.sort compare (carried @ fresh) in
+  History.write_atomic file (to_string entries);
+  entries

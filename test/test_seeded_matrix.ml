@@ -61,6 +61,18 @@ let seeded_fixtures =
       exit_code = 1;
       expect = [ "SA012"; "compiles to a different expression" ];
     };
+    (* record-then-check against a private history makes the baseline
+       the just-measured value, so the verdict is deterministic on any
+       machine: untampered delta is 0 (PASS), the seeded 3x tamper is
+       +200% (FAIL) — machine speed cancels out *)
+    {
+      name = "bench --seeded-regression";
+      args =
+        "bench --filter winnow --history sage-bench-seeded.json --record \
+         selftest --date 2026-01-01 --seeded-regression";
+      exit_code = 1;
+      expect = [ "REGRESSED"; "winnow"; "FAIL" ];
+    };
   ]
 
 (* Every corpus, fuzzed clean (the --seeded-* fixtures above are the
@@ -94,6 +106,14 @@ let clean_corpora =
         args = "chaos --seed 7 --corpus bfd --check-reqs";
         exit_code = 0;
         expect = [ "failed: 0" ];
+      };
+      {
+        name = "bench winnow clean check";
+        args =
+          "bench --filter winnow --history sage-bench-clean.json --record \
+           selftest --date 2026-01-01 --check";
+        exit_code = 0;
+        expect = [ "PASS"; "winnow" ];
       };
     ]
 
